@@ -1,0 +1,58 @@
+"""Benchmarks for the DESIGN.md §6 ablations (beyond the paper)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_binding_delay(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: ablations.run_binding_delay(seed=0),
+        report_fn=lambda r: ablations.report([r]),
+    )
+    benchmark.extra_info.update(result.values)
+    assert result.values["dyrs (late binding)"] <= result.values[
+        "ignem (bound at submission)"
+    ]
+
+
+def test_ablation_estimator_refresh(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: ablations.run_estimator_refresh(seed=0),
+        report_fn=lambda r: ablations.report([r]),
+    )
+    benchmark.extra_info.update(result.values)
+
+
+def test_ablation_queue_depth(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: ablations.run_queue_depth(seed=0),
+        report_fn=lambda r: ablations.report([r]),
+    )
+    benchmark.extra_info.update(result.values)
+
+
+def test_ablation_alpha_sweep(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: ablations.run_alpha_sweep(seed=0),
+        report_fn=lambda r: ablations.report([r]),
+    )
+    benchmark.extra_info.update(result.values)
+
+
+def test_ablation_policies(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: ablations.run_policies(seed=0),
+        report_fn=lambda r: ablations.report([r]),
+    )
+    benchmark.extra_info.update(result.values)
+
+
+def test_ablation_speculation(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: ablations.run_speculation(seed=0),
+        report_fn=lambda r: ablations.report([r]),
+    )
+    benchmark.extra_info.update(result.values)
+    # Speculation must claw back a large part of Ignem's loss.
+    assert result.values["ignem, speculation on"] < result.values[
+        "ignem, speculation off"
+    ]

@@ -1,0 +1,19 @@
+"""Benchmarks regenerating Figs 1-3 (the §II motivation analyses)."""
+
+from repro.experiments import motivation
+
+
+def test_fig1_fig2_fig3_motivation(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: motivation.run(seed=0), report_fn=motivation.report
+    )
+    benchmark.extra_info["fig2_fraction_sufficient"] = (
+        result.fig2_fraction_sufficient
+    )
+    benchmark.extra_info["fig3_mean_utilization"] = result.fig3_mean_utilization
+    benchmark.extra_info["fig3_fraction_below_4pct"] = (
+        result.fig3_fraction_below_4pct
+    )
+    # Paper anchors.
+    assert 0.75 <= result.fig2_fraction_sufficient <= 0.87
+    assert result.fig3_fraction_below_4pct >= 0.7

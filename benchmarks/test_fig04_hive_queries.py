@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig 4a/4b (Hive query durations)."""
+
+from repro.experiments import hive
+
+
+def test_fig4_hive_queries(run_experiment, benchmark):
+    result = run_experiment(lambda: hive.run(seed=1), report_fn=hive.report)
+    benchmark.extra_info["dyrs_mean_speedup"] = result.mean_speedup("dyrs")
+    best_q, best = result.max_speedup("dyrs")
+    benchmark.extra_info["dyrs_best_speedup"] = best
+    benchmark.extra_info["dyrs_best_query"] = best_q
+    benchmark.extra_info["ignem_mean_speedup"] = result.mean_speedup("ignem")
+    # Paper: DYRS +36% mean / +48% best; Ignem negative.
+    assert result.mean_speedup("dyrs") > 0.2
+    assert result.mean_speedup("ignem") < 0

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig 8 (reads per DataNode, Sort)."""
+
+from repro.experiments import sort_reads
+
+
+def test_fig8_read_distribution(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: sort_reads.run(seed=0), report_fn=sort_reads.report
+    )
+    benchmark.extra_info["ignem_slow_share"] = result.slow_node_share(
+        "ignem", "persistent-1"
+    )
+    benchmark.extra_info["dyrs_slow_share"] = result.slow_node_share(
+        "dyrs", "persistent-1"
+    )
+    # Paper: Ignem stays uniform on the slow node; DYRS sheds it.
+    assert result.slow_node_share("dyrs", "persistent-1") < result.slow_node_share(
+        "ignem", "persistent-1"
+    )

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig 9a-9e and Table II (estimator tracking)."""
+
+import pytest
+
+from repro.experiments import tracking
+
+
+def test_fig9_table2_tracking(run_experiment, benchmark):
+    result = run_experiment(lambda: tracking.run(seed=0), report_fn=tracking.report)
+    for pattern, runtime in result.runtimes.items():
+        benchmark.extra_info[f"runtime_{pattern}"] = runtime
+    # Table II: equal total interference -> equal runtime.
+    r = result.runtimes
+    assert r["alt-10s-1"] == pytest.approx(r["alt-20s-1"], rel=0.15)
+    assert r["alt-10s-2"] == pytest.approx(r["alt-20s-2"], rel=0.15)

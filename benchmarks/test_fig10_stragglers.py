@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig 10 (end-of-migration straggler timelines)."""
+
+from repro.experiments import stragglers
+
+
+def test_fig10_stragglers(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: stragglers.run(seed=0), report_fn=stragglers.report
+    )
+    benchmark.extra_info["dyrs_tail_on_slow"] = result.tail_slow_node_migrations(
+        "dyrs"
+    )
+    benchmark.extra_info["naive_tail_on_slow"] = result.tail_slow_node_migrations(
+        "naive"
+    )
+    # Paper: DYRS keeps the final migrations off the slow node.
+    assert result.tail_slow_node_migrations("dyrs") <= result.tail_slow_node_migrations(
+        "naive"
+    )

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig 11a/11b (sort size and lead-time sweeps)."""
+
+from repro.experiments import sort_sweeps
+from repro.units import GB
+
+
+def test_fig11_sort_sweeps(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: sort_sweeps.run(seed=0), report_fn=sort_sweeps.report
+    )
+    for size in result.sizes:
+        benchmark.extra_info[f"map_speedup_{size / GB:.0f}GB"] = (
+            result.map_speedup(size)
+        )
+    # Paper: the relative map-phase speedup shrinks with input size.
+    speedups = [result.map_speedup(s) for s in result.sizes]
+    assert speedups[0] > speedups[-1]
+    # Paper: sort jobs sped up end-to-end by up to ~20%.
+    assert result.end_to_end_speedup(result.sizes[-1]) > 0.1

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the §I read-path micro-claims."""
+
+from repro.experiments import micro
+
+
+def test_micro_read_paths(run_experiment, benchmark):
+    result = run_experiment(lambda: micro.run(), report_fn=micro.report)
+    benchmark.extra_info["ram_over_disk"] = result.ram_over_disk
+    benchmark.extra_info["ram_over_ssd"] = result.ram_over_ssd
+    benchmark.extra_info["map_task_factor"] = result.map_task_factor
+    # Paper: 160x block reads, 10x map tasks.
+    assert 100 <= result.ram_over_disk <= 220
+    assert 5 <= result.map_task_factor <= 15

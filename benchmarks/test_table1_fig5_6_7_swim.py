@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table I and Figs 5/6/7 (the SWIM workload)."""
+
+from repro.experiments import swim
+
+
+def test_table1_fig5_fig6_fig7_swim(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: swim.run(n_jobs=200, seed=0), report_fn=swim.report
+    )
+    benchmark.extra_info["hdfs_mean_duration_s"] = result.mean_duration("hdfs")
+    for scheme in ("ram", "ignem", "dyrs"):
+        benchmark.extra_info[f"{scheme}_speedup"] = result.speedup_vs_hdfs(scheme)
+    benchmark.extra_info["mapper_speedup_factor"] = (
+        result.mapper_speedup_factor("dyrs")
+    )
+    # Paper: DYRS +33%, mappers 1.8x, Ignem a big slowdown.
+    assert result.speedup_vs_hdfs("dyrs") > 0.2
+    assert result.speedup_vs_hdfs("ignem") < -0.3
+    assert result.mapper_speedup_factor("dyrs") > 1.3

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Watch DYRS adapt: estimator tracking + straggler avoidance, live.
+
+Applies alternating interference to one node while a Sort input
+migrates, then prints the slave's migration-time-estimate timeline
+(Fig 9 style) and where the final migrations ran (Fig 10 style).
+
+Run:  python examples/adaptivity_demo.py
+"""
+
+from repro.analysis import ascii_series
+from repro.cluster import AlternatingInterference
+from repro.experiments.common import PaperSetup, build_system, warm_up
+from repro.units import GB, MB
+from repro.workloads.sort import sort_job
+
+
+def main() -> None:
+    system = build_system(
+        PaperSetup(scheme="dyrs", seed=3, interference="none")
+    )
+    warm_up(system)
+
+    print("Applying 20s-period alternating interference to node0...")
+    interference = AlternatingInterference(
+        system.cluster.node(0), period=20.0, streams=4
+    )
+    interference.start()
+
+    job = sort_job(system, size=10 * GB, job_id="sort", extra_lead_time=60.0)
+    metrics = system.runtime.run_to_completion([job])
+    interference.stop()
+
+    block = 256 * MB
+    print("\nEstimated time to migrate one 256MB block (Fig 9 style):")
+    for slave in system.slaves[:2]:
+        series = [spb * block for _, spb in slave.estimator.history]
+        if len(series) >= 2:
+            print(ascii_series(series, label=f"node{slave.node_id}"))
+    print(
+        "node0's estimate swings with the interference phase; node1's "
+        "stays flat.  The in-progress refresh (§IV-A) is what makes the "
+        "rising edges fast."
+    )
+
+    print("\nWhere the last 10 migrations ran (Fig 10 style):")
+    completions = sorted(
+        (r.completed_at, r.bound_node)
+        for r in system.master.record_log
+        if r.completed_at is not None and r.bound_node is not None
+    )[-10:]
+    t_last = completions[-1][0]
+    for t, node in completions:
+        marker = "  <-- the alternating node" if node == 0 else ""
+        print(f"  t{t - t_last:+7.1f}s  node{node}{marker}")
+    print(
+        "With *alternating* interference, using node0 during its quiet "
+        "phases is correct adaptivity -- the estimator tells DYRS when "
+        "the node is worth using again.  Under persistent interference "
+        "(see dyrs-bench stragglers) the tail stays off the slow node "
+        "entirely."
+    )
+
+    per_node = {}
+    for r in system.master.record_log:
+        if r.completed_at is not None:
+            per_node[r.bound_node] = per_node.get(r.bound_node, 0) + 1
+    print(f"\nmigrations per node: {dict(sorted(per_node.items()))}")
+    print(f"sort runtime: {metrics.jobs['sort'].duration:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

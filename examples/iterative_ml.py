@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Iterative ML: killing the cold first iteration.
+
+§I: "Reading data from disk can cause the first iteration in Logistic
+Regression and K-Means to run 15x and 2.5x longer than later
+iterations."  Later iterations hit the framework's own cache; only
+iteration 1 reads cold -- exactly the read DYRS accelerates.
+
+We model a 4-iteration training job as four successive map-only jobs
+over the same input.  The first job's reads are cold; with explicit
+eviction the data then stays resident for iterations 2-4 (the RDD-like
+cache), and the final iteration evicts.
+
+Run:  python examples/iterative_ml.py
+"""
+
+from repro.compute import mapreduce_job
+from repro.dfs import EvictionMode
+from repro.experiments.common import PaperSetup, build_system
+from repro.units import GB, fmt_time
+
+
+def run_training(scheme: str, iterations: int = 4):
+    system = build_system(
+        PaperSetup(scheme=scheme, seed=13, interference="persistent-1")
+    )
+    system.load_input("training/points", 6 * GB)
+    blocks = system.client.blocks_of(["training/points"])
+    jobs = []
+    for i in range(iterations):
+        jobs.append(
+            mapreduce_job(
+                f"iter-{i}",
+                blocks,
+                ["training/points"],
+                shuffle_bytes=64e6,      # tiny gradient aggregation
+                output_bytes=1e6,        # updated model weights
+                map_cpu_per_byte=3e-9,   # gradient math
+                submit_time=float(i) * 1e-9,  # back-to-back DAG stages
+                eviction=EvictionMode.EXPLICIT,
+            )
+        )
+    # Chain: iteration i+1 starts when iteration i finishes.
+    durations = []
+    for job in jobs:
+        metrics = system.runtime.run_to_completion([job])
+        durations.append(metrics.jobs[job.job_id].duration)
+    return durations
+
+
+def main() -> None:
+    print("4-iteration training over a cold 6GB dataset\n")
+    results = {}
+    for scheme in ("hdfs", "dyrs"):
+        durations = run_training(scheme)
+        results[scheme] = durations
+        print(f"{scheme}:")
+        for i, d in enumerate(durations):
+            print(f"  iteration {i}: {fmt_time(d)}")
+        print()
+    # A warm (cached) iteration is what Spark-style frameworks see from
+    # iteration 2 on: DYRS's steady state, where the working set lives
+    # in memory.
+    warm = sum(results["dyrs"][1:]) / (len(results["dyrs"]) - 1)
+    print(
+        f"cold first iteration (plain HDFS) vs warm steady state: "
+        f"{results['hdfs'][0] / warm:.1f}x slower"
+    )
+    print(
+        f"with DYRS migrating during iteration 0's lead-time: "
+        f"{results['dyrs'][0] / warm:.1f}x"
+    )
+    print(
+        "\nThe §I observation -- cold first iterations running many times "
+        "longer than later (cached) ones -- and DYRS erasing most of "
+        "that penalty."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Replay a Facebook-like multi-job trace under every migration scheme.
+
+A scaled-down SWIM workload (heavy-tailed job sizes, compressed
+inter-arrivals) runs concurrently on a cluster with one interfered
+node; the script prints the Table-I-style comparison plus per-size-bin
+speedups.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.experiments.common import PaperSetup, build_system
+from repro.units import GB, fmt_time
+from repro.workloads.swim import generate_swim_workload, materialize_swim_jobs, size_bin
+
+
+def replay(scheme: str, n_jobs: int = 60):
+    system = build_system(PaperSetup(scheme=scheme, seed=11))
+    descriptors = generate_swim_workload(
+        system.cluster.rngs.stream("swim"),
+        n_jobs=n_jobs,
+        total_input=40 * GB,
+        max_input=8 * GB,
+    )
+    jobs = materialize_swim_jobs(system, descriptors)
+    metrics = system.runtime.run_to_completion(jobs)
+    return descriptors, metrics
+
+
+def main() -> None:
+    print("Replaying 60 trace jobs (40GB total input) per scheme...\n")
+    means = {}
+    results = {}
+    for scheme in ("hdfs", "ram", "dyrs", "ignem"):
+        descriptors, metrics = replay(scheme)
+        means[scheme] = metrics.mean_job_duration()
+        results[scheme] = (descriptors, metrics)
+        print(f"  {scheme:6s}: mean job duration {fmt_time(means[scheme])}")
+
+    base = means["hdfs"]
+    print("\nspeedup vs HDFS:")
+    for scheme in ("ram", "dyrs", "ignem"):
+        print(f"  {scheme:6s}: {(base - means[scheme]) / base:+.0%}")
+
+    print("\nDYRS speedup by job size bin:")
+    descriptors, dyrs_metrics = results["dyrs"]
+    _, hdfs_metrics = results["hdfs"]
+    bins = {d.job_id: d.bin for d in descriptors}
+    for b in ("small", "medium", "large"):
+        hdfs_durs = [
+            j.duration for j in hdfs_metrics.finished_jobs() if bins[j.job_id] == b
+        ]
+        dyrs_durs = [
+            j.duration for j in dyrs_metrics.finished_jobs() if bins[j.job_id] == b
+        ]
+        if hdfs_durs:
+            h = sum(hdfs_durs) / len(hdfs_durs)
+            d = sum(dyrs_durs) / len(dyrs_durs)
+            print(f"  {b:6s} ({len(hdfs_durs):3d} jobs): {(h - d) / h:+.0%}")
+
+    mem_frac = sum(
+        j.memory_read_fraction() for j in dyrs_metrics.finished_jobs()
+    ) / len(dyrs_metrics.finished_jobs())
+    print(f"\nmean fraction of input bytes DYRS served from memory: {mem_frac:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` works
+in offline environments whose setuptools lacks the ``wheel`` package
+(PEP 660 editable installs need it). All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Analysis utilities: distribution summaries and report rendering."""
+
+from repro.analysis.stats import (
+    Cdf,
+    histogram_pdf,
+    percentile,
+    speedup,
+    summarize,
+)
+from repro.analysis.reporting import ascii_series, format_table
+from repro.analysis.telemetry import TelemetryCollector, TelemetrySample
+
+__all__ = [
+    "Cdf",
+    "TelemetryCollector",
+    "TelemetrySample",
+    "ascii_series",
+    "format_table",
+    "histogram_pdf",
+    "percentile",
+    "speedup",
+    "summarize",
+]

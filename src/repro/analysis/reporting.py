@@ -1,0 +1,77 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers keep that output aligned and terminal-friendly without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "ascii_series"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are shown with 3 significant digits; everything else via
+    ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    values: Sequence[float], label: str = "", width: int = 60
+) -> str:
+    """A one-line unicode sparkline of ``values`` (figure stand-in)."""
+    if not values:
+        raise ValueError("empty series")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    vals = list(values)
+    if len(vals) > width:
+        # Downsample by averaging fixed-size chunks.
+        chunk = len(vals) / width
+        vals = [
+            sum(vals[int(i * chunk) : max(int(i * chunk) + 1, int((i + 1) * chunk))])
+            / max(1, int((i + 1) * chunk) - int(i * chunk))
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        bars = _BLOCKS[4] * len(vals)
+    else:
+        bars = "".join(
+            _BLOCKS[1 + int((v - lo) / span * (len(_BLOCKS) - 2))] for v in vals
+        )
+    prefix = f"{label:>12s} " if label else ""
+    return f"{prefix}[{lo:.3g}..{hi:.3g}] {bars}"

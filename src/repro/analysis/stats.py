@@ -1,0 +1,98 @@
+"""Distribution summaries used by the experiment reports.
+
+All of the paper's figures are CDFs, PDFs, or simple aggregates over
+measured populations; this module provides those reductions with
+deterministic, numpy-vectorized implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Cdf", "histogram_pdf", "percentile", "speedup", "summarize"]
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF over a sample population."""
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Cdf":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot build a CDF of an empty sample")
+        return cls(np.sort(arr))
+
+    def fraction_below(self, x: float) -> float:
+        """P(X < x)."""
+        return float(np.searchsorted(self.sorted_values, x, side="left")) / len(
+            self.sorted_values
+        )
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1)."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self.sorted_values, q))
+
+    @property
+    def mean(self) -> float:
+        return float(self.sorted_values.mean())
+
+    def series(self, n_points: int = 50) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) points for plotting/printing."""
+        if n_points < 2:
+            raise ValueError(f"n_points must be >= 2, got {n_points}")
+        qs = np.linspace(0, 1, n_points)
+        return [(float(np.quantile(self.sorted_values, q)), float(q)) for q in qs]
+
+
+def histogram_pdf(
+    values: Iterable[float], bins: Sequence[float]
+) -> list[tuple[float, float]]:
+    """Normalized histogram: (bin center, density) pairs (Fig 2 style)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot build a PDF of an empty sample")
+    counts, edges = np.histogram(arr, bins=np.asarray(bins, dtype=float), density=True)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return [(float(c), float(d)) for c, d in zip(centers, counts)]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The q-th percentile (0-100) of ``values``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    return float(np.percentile(arr, q))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """The paper's speedup metric: fraction of baseline time saved.
+
+    E.g. 31.5 s -> 20.9 s is a 33 % speedup (Table I).  Negative when
+    ``improved`` is slower (Ignem's -111 %).
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (baseline - improved) / baseline
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Mean/median/p10/p90/min/max of a sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    return {
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p10": float(np.percentile(arr, 10)),
+        "p90": float(np.percentile(arr, 90)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,39 @@
+"""Physical cluster model: nodes, disks, memory, network, interference.
+
+This subpackage models the hardware substrate the paper's testbed
+provides (§V-A): worker nodes with one HDD each, large RAM, and a
+10 Gbps network.  Heterogeneity is introduced exactly as in §V-C --
+background reader streams stealing disk bandwidth, either persistently
+or in alternating on/off patterns.
+"""
+
+from repro.cluster.disk import Disk, DiskSpec
+from repro.cluster.memory import MemoryStore, MemorySpec, OutOfMemory
+from repro.cluster.network import Fabric, Nic, NicSpec
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.cluster.interference import (
+    AlternatingInterference,
+    InterferenceSchedule,
+    PersistentInterference,
+    TraceInterference,
+)
+
+__all__ = [
+    "AlternatingInterference",
+    "Cluster",
+    "ClusterSpec",
+    "Disk",
+    "DiskSpec",
+    "Fabric",
+    "InterferenceSchedule",
+    "MemorySpec",
+    "MemoryStore",
+    "Nic",
+    "NicSpec",
+    "Node",
+    "NodeSpec",
+    "OutOfMemory",
+    "PersistentInterference",
+    "TraceInterference",
+]

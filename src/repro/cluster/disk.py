@@ -1,0 +1,127 @@
+"""Hard-disk model.
+
+A disk is a :class:`~repro.sim.bandwidth.BandwidthResource` with a
+nonzero seek penalty: concurrent streams cost aggregate throughput,
+which is why DYRS slaves serialize their migrations (§III-B) and why
+``dd`` interference readers (§V-C) slow everything else down.
+
+Reads and writes share the single actuator, so both kinds of transfer
+are flows on the same resource.  A ``read_rate_hint`` helper exposes
+the per-stream throughput a *new* stream would currently get -- the
+quantity a bandwidth-aware scheduler would like to know but that DYRS
+deliberately *estimates from observed migration durations* instead
+(§IV-A); the hint is used only by oracle baselines and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.bandwidth import BandwidthResource, Flow
+from repro.sim.events import Event
+from repro.units import MB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Disk", "DiskSpec"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static description of a disk.
+
+    Attributes
+    ----------
+    bandwidth:
+        Peak sequential throughput, bytes/second.  The paper's servers
+        use a 1 TB HDD; ~150 MB/s sequential is typical.
+    seek_penalty:
+        Aggregate-efficiency loss per extra concurrent stream
+        (see :mod:`repro.sim.bandwidth`).
+    min_efficiency:
+        Floor on aggregate throughput as a fraction of ``bandwidth``:
+        the I/O scheduler batches each stream's sequential run, so
+        heavy concurrency saturates aggregate throughput rather than
+        collapsing it.
+    """
+
+    bandwidth: float = 150 * MB
+    seek_penalty: float = 0.35
+    min_efficiency: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.seek_penalty < 0:
+            raise ValueError(f"seek_penalty must be >= 0, got {self.seek_penalty}")
+        if not 0 <= self.min_efficiency <= 1:
+            raise ValueError(
+                f"min_efficiency must be in [0, 1], got {self.min_efficiency}"
+            )
+
+
+class Disk:
+    """One spinning disk on a node."""
+
+    def __init__(self, sim: "Simulator", spec: DiskSpec, name: str = "disk") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._resource = BandwidthResource(
+            sim,
+            capacity=spec.bandwidth,
+            seek_penalty=spec.seek_penalty,
+            min_efficiency=spec.min_efficiency,
+            name=name,
+        )
+
+    # -- transfers -------------------------------------------------------
+
+    def read(self, nbytes: float, tag: str = "read") -> Event:
+        """Start reading ``nbytes``; returns the completion event."""
+        return self._resource.transfer(nbytes, tag=tag)
+
+    def write(self, nbytes: float, tag: str = "write") -> Event:
+        """Start writing ``nbytes``; returns the completion event."""
+        return self._resource.transfer(nbytes, tag=tag)
+
+    def start_stream(self, nbytes: float, tag: str = "stream") -> Flow:
+        """Low-level flow handle (used by interference generators)."""
+        return self._resource.start_flow(nbytes, tag=tag)
+
+    def cancel_stream(self, flow: Flow) -> None:
+        """Abort a flow started with :meth:`start_stream`."""
+        self._resource.cancel(flow)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently sharing the actuator."""
+        return self._resource.active_flows
+
+    def read_rate_hint(self, extra_streams: int = 0) -> float:
+        """Per-stream rate a new stream would get right now (bytes/s).
+
+        Oracle knowledge -- see module docstring.
+        """
+        k = self._resource.active_flows + extra_streams + 1
+        return self._resource.aggregate_rate(k) / k
+
+    def expected_read_time(self, nbytes: float) -> float:
+        """Oracle estimate of reading ``nbytes`` under current load."""
+        return nbytes / self.read_rate_hint()
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes transferred (reads + writes)."""
+        return self._resource.bytes_moved
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Busy fraction of wall time since ``since``."""
+        return self._resource.utilization(since)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Disk {self.name!r} streams={self.active_streams}>"

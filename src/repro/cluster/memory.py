@@ -1,0 +1,172 @@
+"""Node memory: the migration buffer and the memory read path.
+
+DYRS migrates blocks into the OS buffer cache with ``mmap``/``mlock``
+(§IV).  We model that cache as a byte-budgeted :class:`MemoryStore`:
+
+* ``pin(key, nbytes)`` accounts for a migrated block (the data itself
+  is irrelevant to the simulation);
+* ``unpin(key)`` releases it (the ``munmap`` in §IV -- read-only data
+  is simply discarded);
+* reads of pinned data go through a very fast bandwidth resource; the
+  paper measured memory block reads ~160x faster than disk at the
+  application level (§I), which is our default ratio.
+
+The store also samples its usage over time so Fig 7 (per-server memory
+footprint) can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.sim.bandwidth import BandwidthResource
+from repro.sim.events import Event
+from repro.units import GB, MB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["MemoryStore", "MemorySpec", "OutOfMemory"]
+
+
+class OutOfMemory(RuntimeError):
+    """Raised when a ``pin`` would exceed the configured budget."""
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Static description of a node's memory subsystem.
+
+    Attributes
+    ----------
+    capacity:
+        Bytes available for migrated data.  The paper's servers have
+        128 GB RAM; DYRS additionally supports a hard limit (§IV-A1),
+        which experiments lower to stress eviction.
+    read_bandwidth:
+        Application-level throughput of reads served from memory.
+        Default: 160x a 150 MB/s disk, the paper's measured ratio.
+    """
+
+    capacity: float = 64 * GB
+    read_bandwidth: float = 160 * 150 * MB
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.read_bandwidth <= 0:
+            raise ValueError(
+                f"read_bandwidth must be positive, got {self.read_bandwidth}"
+            )
+
+
+class MemoryStore:
+    """Byte-budgeted store of pinned (migrated) blocks."""
+
+    def __init__(self, sim: "Simulator", spec: MemorySpec, name: str = "mem") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._pinned: dict[Hashable, float] = {}
+        self._used = 0.0
+        self._peak = 0.0
+        #: (time, used_bytes) samples, recorded on every change.
+        self.usage_samples: list[tuple[float, float]] = [(sim.now, 0.0)]
+        self._read_resource = BandwidthResource(
+            sim, capacity=spec.read_bandwidth, seek_penalty=0.0, name=f"{name}.read"
+        )
+
+    # -- budget ------------------------------------------------------------
+
+    @property
+    def used(self) -> float:
+        """Bytes currently pinned."""
+        return self._used
+
+    @property
+    def free(self) -> float:
+        """Bytes available before hitting the budget."""
+        return self.spec.capacity - self._used
+
+    @property
+    def peak(self) -> float:
+        """High-water mark of :attr:`used`."""
+        return self._peak
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether ``nbytes`` can currently be pinned."""
+        return nbytes <= self.free + 1e-9
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, key: Hashable, nbytes: float) -> None:
+        """Account ``nbytes`` of pinned data under ``key``.
+
+        Raises
+        ------
+        OutOfMemory
+            If the budget would be exceeded.  Callers (the DYRS slave)
+            are expected to check :meth:`fits` first and queue instead
+            -- §IV-A1: "migration commands are queued until buffer
+            space is available".
+        KeyError
+            If ``key`` is already pinned (double migration is a
+            protocol bug upstream).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative pin size: {nbytes}")
+        if key in self._pinned:
+            raise KeyError(f"{key!r} already pinned in {self.name!r}")
+        if not self.fits(nbytes):
+            raise OutOfMemory(
+                f"{self.name}: pin of {nbytes:.0f}B exceeds budget "
+                f"({self._used:.0f}/{self.spec.capacity:.0f}B used)"
+            )
+        self._pinned[key] = nbytes
+        # Recompute instead of accumulating so float residue cannot
+        # build up across many pin/unpin cycles.
+        self._used = sum(self._pinned.values())
+        self._peak = max(self._peak, self._used)
+        self.usage_samples.append((self.sim.now, self._used))
+
+    def unpin(self, key: Hashable) -> float:
+        """Release the bytes pinned under ``key``; returns the size.
+
+        Unpinning an unknown key is a no-op returning 0 -- eviction is
+        idempotent because explicit and implicit eviction can race
+        (§III-C3).
+        """
+        nbytes = self._pinned.pop(key, 0.0)
+        if nbytes:
+            self._used = sum(self._pinned.values())
+            self.usage_samples.append((self.sim.now, self._used))
+        return nbytes
+
+    def is_pinned(self, key: Hashable) -> bool:
+        """Whether ``key`` currently resides in memory."""
+        return key in self._pinned
+
+    def pinned_keys(self) -> tuple[Hashable, ...]:
+        """Keys currently pinned (insertion order)."""
+        return tuple(self._pinned)
+
+    # -- read path -----------------------------------------------------------
+
+    def read(self, nbytes: float, tag: str = "mem-read") -> Event:
+        """Serve ``nbytes`` from memory; returns the completion event."""
+        return self._read_resource.transfer(nbytes, tag=tag)
+
+    def start_read(self, nbytes: float, tag: str = "mem-read"):
+        """Flow-returning variant of :meth:`read` (cancellable)."""
+        return self._read_resource.start_flow(nbytes, tag=tag)
+
+    def cancel_read(self, flow) -> None:
+        """Abort a flow from :meth:`start_read`."""
+        self._read_resource.cancel(flow)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MemoryStore {self.name!r} used={self._used:.3g}/"
+            f"{self.spec.capacity:.3g}B pins={len(self._pinned)}>"
+        )

@@ -1,0 +1,151 @@
+"""Network model: per-node NICs on a full-bisection fabric.
+
+The paper's testbed has a 10 Gbps network between 8 servers (§V-A) --
+small enough that the fabric core is never the bottleneck, so we model
+only NIC capacity.  Each node has one full-duplex NIC: an egress and an
+ingress :class:`~repro.sim.bandwidth.BandwidthResource` (no seek
+penalty -- packet-switched links share cleanly).
+
+Transfer charging
+-----------------
+
+A cross-node transfer in reality is limited by ``min`` of the sender's
+egress share and the receiver's ingress share, a coupled max-min
+problem.  We use the standard single-charge simplification:
+
+* **remote reads** (a task pulling a block from another node's memory
+  or disk) charge the *source egress* -- the served node's uplink is
+  the contended side when many tasks fan in on one in-memory replica;
+* **shuffle fetches** charge the *destination ingress* -- a reducer
+  pulling from many mappers is limited by its own downlink.
+
+Both patterns keep the dominant bottleneck and stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.bandwidth import BandwidthResource
+from repro.sim.events import Event
+from repro.units import Gbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Nic", "NicSpec", "Fabric"]
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Static description of a node's NIC.
+
+    Attributes
+    ----------
+    bandwidth:
+        Per-direction capacity, bytes/second (paper: 10 Gbps).
+    """
+
+    bandwidth: float = 10 * Gbps
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+
+class Nic:
+    """A full-duplex NIC: independent egress and ingress resources."""
+
+    def __init__(self, sim: "Simulator", spec: NicSpec, name: str = "nic") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.egress = BandwidthResource(
+            sim, capacity=spec.bandwidth, name=f"{name}.egress"
+        )
+        self.ingress = BandwidthResource(
+            sim, capacity=spec.bandwidth, name=f"{name}.ingress"
+        )
+
+    def send(self, nbytes: float, tag: str = "send") -> Event:
+        """Charge an egress transfer (source-charged remote read)."""
+        return self.egress.transfer(nbytes, tag=tag)
+
+    def receive(self, nbytes: float, tag: str = "recv") -> Event:
+        """Charge an ingress transfer (destination-charged shuffle)."""
+        return self.ingress.transfer(nbytes, tag=tag)
+
+    def start_send(self, nbytes: float, tag: str = "send"):
+        """Flow-returning variant of :meth:`send` (cancellable)."""
+        return self.egress.start_flow(nbytes, tag=tag)
+
+    def start_receive(self, nbytes: float, tag: str = "recv"):
+        """Flow-returning variant of :meth:`receive` (cancellable)."""
+        return self.ingress.start_flow(nbytes, tag=tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic {self.name!r}>"
+
+
+class Fabric:
+    """The cluster interconnect.
+
+    Single-rack clusters (the paper's testbed) are full-bisection: the
+    fabric only routes a transfer to the right NIC resource.  With
+    ``n_racks > 1`` each rack gets a pair of uplink resources (up and
+    down through its ToR switch) and cross-rack transfers additionally
+    traverse both racks' uplinks -- the standard oversubscription
+    model.  A pipelined cross-rack transfer runs at the minimum share
+    along its path, which we model by charging all path resources
+    concurrently and completing when the slowest does.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        n_racks: int = 1,
+        rack_uplink_bandwidth: float = 5e9,
+    ) -> None:
+        if n_racks < 1:
+            raise ValueError(f"n_racks must be >= 1, got {n_racks}")
+        self.sim = sim
+        self.n_racks = n_racks
+        self.uplinks: dict[int, BandwidthResource] = {}
+        self.downlinks: dict[int, BandwidthResource] = {}
+        if n_racks > 1:
+            for rack in range(n_racks):
+                self.uplinks[rack] = BandwidthResource(
+                    sim, capacity=rack_uplink_bandwidth, name=f"rack{rack}.up"
+                )
+                self.downlinks[rack] = BandwidthResource(
+                    sim, capacity=rack_uplink_bandwidth, name=f"rack{rack}.down"
+                )
+
+    @property
+    def rack_aware(self) -> bool:
+        return self.n_racks > 1
+
+    def cross_rack_flows(
+        self, src_rack: int, dst_rack: int, nbytes: float, tag: str
+    ) -> list:
+        """Start the ToR-uplink flows of a cross-rack transfer.
+
+        Returns the flow handles (empty if same rack or single-rack).
+        """
+        if not self.rack_aware or src_rack == dst_rack:
+            return []
+        return [
+            self.uplinks[src_rack].start_flow(nbytes, tag=tag),
+            self.downlinks[dst_rack].start_flow(nbytes, tag=tag),
+        ]
+
+    def remote_read(self, source: Nic, nbytes: float, tag: str = "remote-read") -> Event:
+        """A task on some node pulls ``nbytes`` served by ``source``."""
+        return source.send(nbytes, tag=tag)
+
+    def shuffle_fetch(
+        self, destination: Nic, nbytes: float, tag: str = "shuffle"
+    ) -> Event:
+        """A reducer behind ``destination`` pulls ``nbytes`` of map output."""
+        return destination.receive(nbytes, tag=tag)

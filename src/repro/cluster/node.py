@@ -1,0 +1,86 @@
+"""A worker node: disk + memory + NIC + task slots.
+
+Matches the paper's servers (§V-A): one HDD, 128 GB RAM, a 6-core/12-
+thread CPU (we default to 12 task slots per node, one per hardware
+thread), and a 10 Gbps NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.cluster.disk import Disk, DiskSpec
+from repro.cluster.memory import MemorySpec, MemoryStore
+from repro.cluster.network import Nic, NicSpec
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Node", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one worker node.
+
+    ``disk``/``memory``/``nic`` are component specs; ``task_slots`` is
+    the number of concurrently running tasks YARN may place here.
+    """
+
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    nic: NicSpec = field(default_factory=NicSpec)
+    task_slots: int = 12
+
+    def __post_init__(self) -> None:
+        if self.task_slots < 1:
+            raise ValueError(f"task_slots must be >= 1, got {self.task_slots}")
+
+    def with_disk_bandwidth(self, bandwidth: float) -> "NodeSpec":
+        """A copy of this spec with a different disk speed.
+
+        Convenience for building heterogeneous clusters with a
+        "handicapped" node (§V-C).
+        """
+        return replace(self, disk=replace(self.disk, bandwidth=bandwidth))
+
+
+class Node:
+    """One worker node instance in a running simulation."""
+
+    def __init__(
+        self, sim: "Simulator", node_id: int, spec: NodeSpec, rack_id: int = 0
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = f"node{node_id}"
+        self.spec = spec
+        self.rack_id = rack_id
+        #: Back-reference set by the owning Cluster (None for
+        #: free-standing nodes in unit tests).
+        self.cluster = None
+        self.disk = Disk(sim, spec.disk, name=f"{self.name}.disk")
+        self.memory = MemoryStore(sim, spec.memory, name=f"{self.name}.mem")
+        self.nic = Nic(sim, spec.nic, name=f"{self.name}.nic")
+        self.slots = Resource(sim, capacity=spec.task_slots, name=f"{self.name}.slots")
+        #: Set by the DFS layer when a DataNode is attached.
+        self.datanode = None
+        #: Whether the node (the whole server) is up.  Failure handling
+        #: in §III-C marks crashed nodes unavailable.
+        self.alive = True
+
+    def fail(self) -> None:
+        """Crash the whole server: all in-memory data is lost."""
+        self.alive = False
+        for key in self.memory.pinned_keys():
+            self.memory.unpin(key)
+
+    def recover(self) -> None:
+        """Bring the server back up (with cold memory)."""
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "DOWN"
+        return f"<Node {self.name} {status} slots={self.slots.in_use}/{self.spec.task_slots}>"

@@ -1,0 +1,298 @@
+"""The job runtime: submission, lead-time, stage driving, cleanup.
+
+The runtime reproduces the paper's integration points:
+
+* **migration at submission** -- "we inserted the migration call in
+  the job-submitter, the first element in a job's life cycle" (§IV-B);
+* **platform overhead** -- shipping binaries / JVM warm-up delay
+  between submission and the first task launch (§II-C1);
+* **artificial lead-time** -- Fig 11b's experiment knob, an extra wait
+  inserted after submission;
+* **completion cleanup** -- the job's migration references are dropped
+  when it finishes, so explicit-mode data leaves memory (§III-C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import statistics
+
+from repro.compute.job import JobSpec, TaskSpec
+from repro.compute.metrics import JobMetrics, MetricsCollector, TaskMetrics
+from repro.compute.scheduler import TaskScheduler
+from repro.compute.task import execute_task
+from repro.sim.events import AllOf, AnyOf
+from repro.sim.process import Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import Cluster
+    from repro.dfs.client import DFSClient
+
+__all__ = ["ComputeConfig", "JobRuntime"]
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """Execution-environment constants.
+
+    Attributes
+    ----------
+    task_launch_overhead:
+        Container/JVM start cost per task, seconds.
+    job_init_overhead:
+        Submission-to-first-container platform overhead, seconds; with
+        queueing this produces the lead-time DYRS exploits (the Google
+        trace mean is 8.8 s, §II-C1).
+    migrate_on_submit:
+        Whether the job-submitter issues the migrate() RPC; False
+        reproduces plain HDFS behaviour even with a master wired in.
+    speculative_execution:
+        Hadoop-style straggler mitigation: a running task that has
+        overrun its stage's typical duration gets a duplicate attempt;
+        the first finisher wins and the loser is killed.  Default OFF,
+        matching the paper's engine (Tez 0.9 ships with
+        ``tez.am.speculation.enabled=false``); the speculation ablation
+        turns it on to show it rescues Ignem's worst stragglers.
+    speculation_multiplier:
+        An attempt is speculatable once its runtime exceeds this
+        multiple of the stage's median completed-task duration.
+    speculation_min_runtime:
+        ... and at least this many seconds (avoids duplicating short
+        tasks on noise).
+    speculation_check_interval:
+        How often each running task re-evaluates speculation.
+    speculation_min_completed:
+        Minimum completed attempts in the stage before the median is
+        trusted.
+    """
+
+    task_launch_overhead: float = 1.0
+    job_init_overhead: float = 5.0
+    migrate_on_submit: bool = True
+    speculative_execution: bool = False
+    speculation_multiplier: float = 3.0
+    speculation_min_runtime: float = 20.0
+    speculation_check_interval: float = 5.0
+    speculation_min_completed: int = 3
+
+    def __post_init__(self) -> None:
+        if self.task_launch_overhead < 0:
+            raise ValueError("task_launch_overhead must be >= 0")
+        if self.job_init_overhead < 0:
+            raise ValueError("job_init_overhead must be >= 0")
+        if self.speculation_multiplier < 1:
+            raise ValueError("speculation_multiplier must be >= 1")
+        if self.speculation_min_runtime < 0:
+            raise ValueError("speculation_min_runtime must be >= 0")
+        if self.speculation_check_interval <= 0:
+            raise ValueError("speculation_check_interval must be positive")
+        if self.speculation_min_completed < 1:
+            raise ValueError("speculation_min_completed must be >= 1")
+
+
+class JobRuntime:
+    """Drives job DAGs against a cluster + DFS + scheduler."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        client: "DFSClient",
+        scheduler: Optional[TaskScheduler] = None,
+        config: Optional[ComputeConfig] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.client = client
+        self.scheduler = scheduler or TaskScheduler(cluster)
+        self.config = config or ComputeConfig()
+        self.metrics = metrics or MetricsCollector()
+        # Let the migration master GC against the live job registry.
+        master = client.namenode.migration_master
+        if master is not None:
+            master.active_jobs_provider = self.scheduler.active_job_ids
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, job: JobSpec) -> Process:
+        """Schedule ``job`` to run at its ``submit_time``.
+
+        Returns the job's process; it triggers (as an event) when the
+        job completes, with the job's :class:`JobMetrics` as value.
+        """
+        return self.sim.process(self._run_job(job), name=f"job:{job.job_id}")
+
+    def run_to_completion(self, jobs: Iterable[JobSpec]) -> MetricsCollector:
+        """Submit ``jobs`` and run the simulation until all finish."""
+        processes = [self.submit(job) for job in jobs]
+        if processes:
+            self.sim.run_until_processed(AllOf(self.sim, processes))
+        return self.metrics
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run_job(self, job: JobSpec):
+        sim = self.sim
+        if job.submit_time > sim.now:
+            yield sim.timeout(job.submit_time - sim.now)
+        jm: JobMetrics = self.metrics.job(job.job_id)
+        jm.submitted_at = sim.now
+        self.scheduler.job_started(job.job_id)
+
+        # The §IV-B hook: migrate inputs the moment the job enters the
+        # system, maximizing usable lead-time.
+        if self.config.migrate_on_submit and job.input_files:
+            self.client.migrate(
+                job.input_files, job_id=job.job_id, eviction=job.eviction
+            )
+
+        platform_wait = self.config.job_init_overhead + job.extra_lead_time
+        if platform_wait > 0:
+            yield sim.timeout(platform_wait)
+
+        for stage in job.topo_stages():
+            progress = _StageProgress()
+            task_processes = []
+            for task in stage.tasks:
+                tm = TaskMetrics(job_id=job.job_id, task_id=task.task_id, kind=task.kind)
+                jm.tasks.append(tm)
+                task_processes.append(
+                    sim.process(
+                        self._managed_task(job.job_id, task, tm, progress),
+                        name=f"{job.job_id}:{task.task_id}",
+                    )
+                )
+            yield AllOf(sim, task_processes)
+            if jm.first_task_started_at is None:
+                started = [t.started_at for t in jm.tasks if t.started_at is not None]
+                if started:
+                    jm.first_task_started_at = min(started)
+
+        jm.finished_at = sim.now
+        self.scheduler.job_finished(job.job_id)
+        master = self.client.namenode.migration_master
+        if master is not None:
+            master.notify_job_finished(job.job_id)
+        return jm
+
+    # -- speculation (Hadoop-style straggler mitigation) -----------------------
+
+    def _should_speculate(
+        self, tm: TaskMetrics, progress: "_StageProgress"
+    ) -> bool:
+        cfg = self.config
+        if tm.started_at is None:
+            return False  # still queued; a duplicate would queue too
+        if len(progress.completed_durations) < cfg.speculation_min_completed:
+            return False
+        if self.scheduler.total_free_slots < 1:
+            return False
+        elapsed = self.sim.now - tm.started_at
+        typical = statistics.median(progress.completed_durations)
+        return elapsed > max(
+            cfg.speculation_min_runtime, cfg.speculation_multiplier * typical
+        )
+
+    def _managed_task(
+        self, job_id: str, task: TaskSpec, tm: TaskMetrics, progress: "_StageProgress"
+    ):
+        """Run a task with (optional) speculative re-execution.
+
+        The first attempt fills ``tm`` directly; if a speculative
+        duplicate is launched and wins, its metrics replace ``tm``'s
+        fields and the loser is interrupted (releasing its slot and
+        cancelling its in-flight transfer).
+        """
+        sim = self.sim
+        attempts: list[tuple[Process, TaskMetrics]] = []
+
+        def launch(
+            metrics: TaskMetrics, speculative: bool, avoid_node=None
+        ) -> None:
+            attempts.append(
+                (
+                    sim.process(
+                        execute_task(
+                            self,
+                            job_id,
+                            task,
+                            metrics,
+                            speculative=speculative,
+                            avoid_node=avoid_node,
+                        ),
+                        name=f"{job_id}:{task.task_id}"
+                        + (":spec" if speculative else ""),
+                    ),
+                    metrics,
+                )
+            )
+
+        launch(tm, speculative=False)
+        speculated = False
+        while True:
+            alive = [p for p, _ in attempts if p.is_alive]
+            waits = list(alive)
+            if self.config.speculative_execution and not speculated:
+                waits.append(sim.timeout(self.config.speculation_check_interval))
+            done = yield AnyOf(sim, waits)
+
+            winner = next(
+                (
+                    (p, m)
+                    for p, m in attempts
+                    if p.processed and p.ok
+                ),
+                None,
+            )
+            if winner is not None:
+                winner_p, winner_m = winner
+                for p, _ in attempts:
+                    if p.is_alive:
+                        p.interrupt(cause="speculation-lost")
+                if winner_m is not tm:
+                    for field_name in (
+                        "node_id",
+                        "queued_at",
+                        "started_at",
+                        "read_done_at",
+                        "finished_at",
+                        "read_source",
+                        "input_bytes",
+                    ):
+                        setattr(tm, field_name, getattr(winner_m, field_name))
+                if tm.duration is not None:
+                    progress.completed_durations.append(tm.duration)
+                return tm
+
+            # Surface real attempt failures (an Interrupt-failed loser
+            # is benign and cannot occur before a winner exists).
+            for p, _ in attempts:
+                if p.processed and not p.ok and not isinstance(p.value, Interrupt):
+                    raise p.value
+
+            if (
+                self.config.speculative_execution
+                and not speculated
+                and self._should_speculate(tm, progress)
+            ):
+                speculated = True
+                launch(
+                    TaskMetrics(
+                        job_id=job_id,
+                        task_id=f"{task.task_id}:spec",
+                        kind=task.kind,
+                    ),
+                    speculative=True,
+                    avoid_node=tm.node_id,
+                )
+
+
+class _StageProgress:
+    """Completed-attempt durations shared by one stage's tasks."""
+
+    __slots__ = ("completed_durations",)
+
+    def __init__(self) -> None:
+        self.completed_durations: list[float] = []

@@ -1,0 +1,275 @@
+"""Slot-based task scheduling with locality preference.
+
+Each worker node offers ``task_slots`` containers.  Tasks queue FIFO
+at the scheduler; when slots free up, the scheduler grants the oldest
+waiting request, preferring a free slot on one of the task's
+*preferred* nodes (the nodes holding its input replica) but falling
+back to any free node -- standard capacity-scheduler behaviour.  The
+queueing this produces is the paper's main lead-time source (§II-C1).
+
+**Delay scheduling** (Zaharia et al., optional): with a nonzero
+``locality_delay`` a request whose preferred nodes are all busy waits
+up to that long for one to free before accepting a non-local slot,
+trading a little latency for data-locality.  Off by default to match
+the strict capacity-scheduler behaviour the experiments are calibrated
+against.
+
+The scheduler also answers "which jobs are active?" for the DYRS
+memory-pressure GC (§III-C3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import Cluster
+
+__all__ = ["TaskScheduler", "FairTaskScheduler", "SlotGrant"]
+
+
+class SlotGrant:
+    """A granted task slot; release it when the task finishes."""
+
+    __slots__ = ("node_id", "job_id", "_scheduler", "_released")
+
+    def __init__(
+        self, node_id: int, scheduler: "TaskScheduler", job_id: str = ""
+    ) -> None:
+        self.node_id = node_id
+        self.job_id = job_id
+        self._scheduler = scheduler
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            raise RuntimeError("slot already released")
+        self._released = True
+        self._scheduler._release(self.node_id, self.job_id)
+
+
+class _SlotRequest:
+    __slots__ = ("preferred", "banned", "job_id", "event", "queued_since")
+
+    def __init__(
+        self,
+        preferred: tuple[int, ...],
+        banned: frozenset[int],
+        job_id: str,
+        event: Event,
+        queued_since: float,
+    ):
+        self.preferred = preferred
+        self.banned = banned
+        self.job_id = job_id
+        self.event = event
+        self.queued_since = queued_since
+
+
+class TaskScheduler:
+    """Cluster-wide FIFO slot scheduler (optionally delay-scheduling)."""
+
+    def __init__(self, cluster: "Cluster", locality_delay: float = 0.0) -> None:
+        if locality_delay < 0:
+            raise ValueError(f"locality_delay must be >= 0, got {locality_delay}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.locality_delay = locality_delay
+        self._free: dict[int, int] = {
+            node.node_id: node.spec.task_slots for node in cluster.nodes
+        }
+        self._queue: deque[_SlotRequest] = deque()
+        self._cancelled: set[Event] = set()
+        self._active_jobs: dict[str, int] = {}
+        #: Running-task counts per job (fair-share accounting).
+        self._running: dict[str, int] = {}
+        #: Grants that went to a preferred node vs. anywhere (locality
+        #: accounting, used by the delay-scheduling ablation).
+        self.local_grants = 0
+        self.nonlocal_grants = 0
+        #: (time, queued_requests) samples for utilization analysis.
+        self.queue_samples: list[tuple[float, int]] = []
+
+    # -- job registry (for GC, §III-C3) ------------------------------------------
+
+    def job_started(self, job_id: str) -> None:
+        """Mark ``job_id`` active (called at submission)."""
+        self._active_jobs[job_id] = self._active_jobs.get(job_id, 0) + 1
+
+    def job_finished(self, job_id: str) -> None:
+        """Mark ``job_id`` finished."""
+        count = self._active_jobs.get(job_id, 0) - 1
+        if count <= 0:
+            self._active_jobs.pop(job_id, None)
+        else:
+            self._active_jobs[job_id] = count
+
+    def active_job_ids(self) -> list[str]:
+        """Currently active jobs -- the DYRS GC's ground truth."""
+        return list(self._active_jobs)
+
+    # -- slots ---------------------------------------------------------------------
+
+    @property
+    def total_free_slots(self) -> int:
+        return sum(self._free.values())
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._queue)
+
+    def acquire(
+        self,
+        preferred_nodes: Sequence[int] = (),
+        job_id: str = "",
+        banned_nodes: Sequence[int] = (),
+    ) -> Event:
+        """Request a slot; the event triggers with a :class:`SlotGrant`.
+
+        ``banned_nodes`` are never granted (speculative attempts ban
+        the node their stuck sibling runs on).
+        """
+        event = Event(self.sim, name=f"slot:{job_id}")
+        self._queue.append(
+            _SlotRequest(
+                tuple(preferred_nodes),
+                frozenset(banned_nodes),
+                job_id,
+                event,
+                queued_since=self.sim.now,
+            )
+        )
+        self._dispatch()
+        return event
+
+    def cancel_request(self, event: Event) -> None:
+        """Withdraw a pending slot request (or release a grant that
+        raced with the caller's interruption)."""
+        if event.triggered:
+            grant: SlotGrant = event.value
+            if not grant._released:
+                grant.release()
+        else:
+            self._cancelled.add(event)
+
+    def running_tasks(self, job_id: str) -> int:
+        """Tasks of ``job_id`` currently holding slots."""
+        return self._running.get(job_id, 0)
+
+    def _release(self, node_id: int, job_id: str = "") -> None:
+        self._free[node_id] += 1
+        if job_id:
+            count = self._running.get(job_id, 0) - 1
+            if count <= 0:
+                self._running.pop(job_id, None)
+            else:
+                self._running[job_id] = count
+        self._dispatch()
+
+    def _pick_node(
+        self, preferred: tuple[int, ...], banned: frozenset[int] = frozenset()
+    ) -> Optional[int]:
+        for node_id in preferred:
+            if (
+                node_id not in banned
+                and self._free.get(node_id, 0) > 0
+                and self.cluster.node(node_id).alive
+            ):
+                return node_id
+        # Fallback: the node with the most free slots, so placement
+        # without locality spreads like a capacity scheduler instead of
+        # piling onto the lowest node id.
+        best: Optional[int] = None
+        best_free = 0
+        for node_id, free in self._free.items():
+            if (
+                node_id not in banned
+                and free > best_free
+                and self.cluster.node(node_id).alive
+            ):
+                best, best_free = node_id, free
+        return best
+
+    def _try_grant(self, request: _SlotRequest) -> bool:
+        """Attempt to place one request per the locality-delay policy."""
+        node_id = self._pick_node(request.preferred, request.banned)
+        if node_id is None:
+            return False
+        is_preferred = node_id in request.preferred or not request.preferred
+        if (
+            not is_preferred
+            and self.locality_delay > 0
+            and (self.sim.now - request.queued_since) < self.locality_delay
+        ):
+            # Hold out for a preferred slot; re-check when the delay
+            # expires in case nothing else triggers a dispatch.
+            self.sim.call_at(
+                request.queued_since + self.locality_delay, self._dispatch
+            )
+            return False
+        self._free[node_id] -= 1
+        if is_preferred:
+            self.local_grants += 1
+        else:
+            self.nonlocal_grants += 1
+        if request.job_id:
+            self._running[request.job_id] = (
+                self._running.get(request.job_id, 0) + 1
+            )
+        request.event.succeed(SlotGrant(node_id, self, request.job_id))
+        return True
+
+    def _dispatch(self) -> None:
+        """Grant queued requests while slots are available.
+
+        FIFO, with one exception: a request deliberately waiting out
+        its locality delay does not block younger requests (delay
+        scheduling's whole point is to let others jump ahead).  With
+        ``locality_delay == 0`` this degenerates to strict FIFO, since
+        an ungrantable head means no free slots for anyone behind it
+        either... unless bans differ, which only speculative attempts
+        use.
+        """
+        self.queue_samples.append((self.sim.now, len(self._queue)))
+        index = 0
+        queue = self._queue
+        while index < len(queue):
+            request = self._next_request(index)
+            if request.event in self._cancelled:
+                self._cancelled.discard(request.event)
+                queue.remove(request)
+                continue
+            if self._try_grant(request):
+                queue.remove(request)
+                continue
+            if self.total_free_slots == 0:
+                return
+            index += 1
+
+    def _next_request(self, index: int) -> _SlotRequest:
+        """The request to consider at scan position ``index``.
+
+        The base scheduler is FIFO: position order.  Subclasses may
+        reorder (the fair scheduler picks by running share).
+        """
+        return self._queue[index]
+
+
+class FairTaskScheduler(TaskScheduler):
+    """Fair sharing across jobs (the YARN FairScheduler analogue).
+
+    Among waiting requests, the job with the fewest currently running
+    tasks is served first, so small jobs stop queueing behind a large
+    job's task wave.  Ties fall back to FIFO.  Everything else
+    (locality, delay scheduling, bans) is inherited.
+    """
+
+    def _next_request(self, index: int) -> _SlotRequest:
+        remaining = list(self._queue)[index:]
+        return min(
+            remaining,
+            key=lambda r: (self._running.get(r.job_id, 0), r.queued_since),
+        )

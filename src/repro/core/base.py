@@ -1,0 +1,254 @@
+"""Shared machinery for migration masters.
+
+DYRS, Ignem, and the naive balancer differ *only* in how pending
+migrations are bound to slaves; everything else -- file->block
+expansion, reference lists, eviction, the memory directory, missed-read
+discarding -- is common and lives here.  Keeping the base class honest
+makes the experimental comparisons apples-to-apples: a baseline cannot
+win or lose because of incidental bookkeeping differences.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.core.eviction import ReferenceTracker
+from repro.core.records import MigrationRecord, MigrationStatus
+from repro.dfs.block import Block, BlockId
+from repro.dfs.client import EvictionMode
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.slave import DyrsSlave
+    from repro.dfs.namenode import NameNode
+
+__all__ = ["MigrationMaster"]
+
+
+class MigrationMaster:
+    """Abstract base for migration coordinators.
+
+    Subclasses implement the binding strategy by overriding
+    :meth:`_on_new_records` (what happens when migrations arrive) and
+    :meth:`request_work` (what a pulling slave receives).
+    """
+
+    #: Whether a disk read of a block with an unstarted migration
+    #: cancels that migration (§IV-A1, "discarded due to missed
+    #: reads").  A DYRS-family feature; Ignem predates it.
+    discards_on_missed_read = True
+
+    def __init__(self, namenode: "NameNode") -> None:
+        self.namenode = namenode
+        self.sim = namenode.sim
+        namenode.migration_master = self
+        self.slaves: dict[int, "DyrsSlave"] = {}
+        #: Live record per block (the latest, possibly terminal).
+        self._records: dict[BlockId, MigrationRecord] = {}
+        #: Append-only log of every record ever created (metrics).
+        self.record_log: list[MigrationRecord] = []
+        self.tracker = ReferenceTracker(on_block_unreferenced=self._on_unreferenced)
+        #: Optional hook returning currently active job ids, used by the
+        #: memory-pressure GC sweep (§III-C3); the compute scheduler
+        #: plugs in here.
+        self.active_jobs_provider: Optional[Callable[[], Sequence[str]]] = None
+
+    # -- slave registry ------------------------------------------------------
+
+    def register_slave(self, slave: "DyrsSlave") -> None:
+        """Attach a slave; subclasses may extend (e.g. seed load state)."""
+        self.slaves[slave.node_id] = slave
+
+    # -- client API ------------------------------------------------------------
+
+    def migrate(
+        self,
+        files: Sequence[str],
+        job_id: str,
+        eviction: EvictionMode = EvictionMode.IMPLICIT,
+    ) -> list[MigrationRecord]:
+        """Handle a migration request: expand files, create records.
+
+        Blocks already in memory or already in flight only gain a
+        reference; blocks whose previous record is terminal get a fresh
+        record.  Returns the *new* records created.
+        """
+        implicit = eviction is EvictionMode.IMPLICIT
+        new_records: list[MigrationRecord] = []
+        for block in self.namenode.blocks_of(files):
+            self.tracker.add_reference(block.block_id, job_id, implicit=implicit)
+            existing = self._records.get(block.block_id)
+            if existing is not None and not existing.status.is_terminal:
+                continue
+            record = MigrationRecord(block=block, requested_at=self.sim.now)
+            self._records[block.block_id] = record
+            self.record_log.append(record)
+            new_records.append(record)
+        if new_records:
+            self._on_new_records(new_records)
+        return new_records
+
+    def evict(self, files: Sequence[str], job_id: str) -> None:
+        """Explicit evict RPC: drop ``job_id``'s references on ``files``."""
+        block_ids = [b.block_id for b in self.namenode.blocks_of(files)]
+        self.tracker.remove_job_from_blocks(job_id, block_ids)
+
+    def notify_job_finished(self, job_id: str) -> None:
+        """Job completion: clear all of the job's references."""
+        self.tracker.remove_job(job_id)
+
+    # -- read-path integration ---------------------------------------------------
+
+    def on_block_read(self, block: Block, job_id: str, read_event: Event) -> None:
+        """Observe a block read (called by the DFSClient).
+
+        Two duties:
+
+        * *missed-read discard* -- a still-unstarted migration whose
+          only interested job just read the block from disk is
+          pointless for singly-accessed data; cancel it;
+        * *implicit eviction* -- trim the reference when the read
+          completes (§III-C3).
+        """
+        record = self._records.get(block.block_id)
+        if (
+            self.discards_on_missed_read
+            and record is not None
+            and record.status
+            in (MigrationStatus.PENDING, MigrationStatus.BOUND)
+        ):
+            others = self.tracker.jobs_of(block.block_id) - {job_id}
+            if not others:
+                self.discard(record, reason="missed-read")
+
+        if self.tracker.uses_implicit_eviction(job_id):
+            block_id = block.block_id
+
+            def _trim(event: Event) -> None:
+                if event.ok:
+                    self.tracker.on_read(block_id, job_id)
+
+            read_event.add_callback(_trim)
+
+    # -- slave-side notifications ---------------------------------------------------
+
+    def on_migration_complete(
+        self, record: MigrationRecord, node_id: int, duration: float
+    ) -> None:
+        """A slave finished copying; publish the in-memory replica.
+
+        If every reference disappeared while the copy ran, the data is
+        dead on arrival -- evict immediately.
+        """
+        self.namenode.record_memory_replica(record.block_id, node_id)
+        if not self.tracker.is_referenced(record.block_id):
+            self._evict_done_record(record)
+
+    def on_slave_failed(self, node_id: int) -> None:
+        """Slave process death (§III-C2).
+
+        Three cleanups:
+
+        * forget the node's in-memory replicas (directory soft state);
+        * mark DONE records whose data died with the process as evicted,
+          re-migrating any that jobs still reference;
+        * return bound-but-unfinished work to the pending pool (the old
+          bindings are final, so fresh records replace them).
+        """
+        lost = {
+            block_id
+            for block_id, nid in self.namenode.memory_directory.items()
+            if nid == node_id
+        }
+        self.namenode.drop_node_memory_state(node_id)
+        for record in list(self._records.values()):
+            if record.status is MigrationStatus.DONE and record.block_id in lost:
+                record.mark_evicted()
+                if self.tracker.is_referenced(record.block_id):
+                    self._remigrate(record.block)
+            elif (
+                record.status in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
+                and record.bound_node == node_id
+            ):
+                self._requeue_after_failure(record)
+
+    def gc_sweep(self) -> list[str]:
+        """Memory-pressure GC: drop references of inactive jobs.
+
+        Uses :attr:`active_jobs_provider`; without one the sweep is a
+        no-op (nothing can safely be declared inactive).
+        """
+        if self.active_jobs_provider is None:
+            return []
+        return self.tracker.sweep_inactive(self.active_jobs_provider())
+
+    # -- record plumbing --------------------------------------------------------
+
+    def discard(self, record: MigrationRecord, reason: str) -> None:
+        """Cancel a not-yet-active migration."""
+        record.mark_discarded(self.sim.now, reason)
+        self._on_record_discarded(record)
+
+    def _remigrate(self, block: Block) -> MigrationRecord:
+        """Create and enqueue a fresh PENDING record for ``block``."""
+        replacement = MigrationRecord(block=block, requested_at=self.sim.now)
+        self._records[block.block_id] = replacement
+        self.record_log.append(replacement)
+        self._on_new_records([replacement])
+        return replacement
+
+    def _requeue_after_failure(self, record: MigrationRecord) -> MigrationRecord:
+        """Replace a record lost to a slave failure with a fresh
+        PENDING one (bindings are final, so the old record dies)."""
+        record.mark_discarded(self.sim.now, reason="slave-failure")
+        self._on_record_discarded(record)
+        return self._remigrate(record.block)
+
+    def _on_unreferenced(self, block_id: BlockId) -> None:
+        """Reference list emptied: evict or cancel as appropriate."""
+        record = self._records.get(block_id)
+        if record is None:
+            return
+        if record.status is MigrationStatus.DONE:
+            self._evict_done_record(record)
+        elif record.status in (MigrationStatus.PENDING, MigrationStatus.BOUND):
+            self.discard(record, reason="unreferenced")
+
+    def _evict_done_record(self, record: MigrationRecord) -> None:
+        node_id = self.namenode.memory_directory.get(record.block_id)
+        if node_id is not None:
+            self.namenode.datanodes[node_id].unpin_block(record.block_id)
+            self.namenode.drop_memory_replica(record.block_id)
+            slave = self.slaves.get(node_id)
+            if slave is not None:
+                slave.notify_memory_freed()
+        record.mark_evicted()
+
+    # -- metrics -----------------------------------------------------------------
+
+    def record_of(self, block_id: BlockId) -> Optional[MigrationRecord]:
+        """The current record for ``block_id`` (None if never migrated)."""
+        return self._records.get(block_id)
+
+    def migrated_bytes(self) -> float:
+        """Total bytes successfully migrated so far."""
+        return sum(
+            r.block.size
+            for r in self.record_log
+            if r.status in (MigrationStatus.DONE, MigrationStatus.EVICTED)
+            and r.completed_at is not None
+        )
+
+    # -- subclass hooks --------------------------------------------------------------
+
+    def _on_new_records(self, records: list[MigrationRecord]) -> None:
+        """New migrations arrived; subclass decides what to do."""
+        raise NotImplementedError
+
+    def _on_record_discarded(self, record: MigrationRecord) -> None:
+        """A record left the pipeline early; subclass cleans queues."""
+        raise NotImplementedError
+
+    def request_work(self, node_id: int, max_blocks: int) -> list[MigrationRecord]:
+        """A slave pulls up to ``max_blocks`` migrations."""
+        raise NotImplementedError

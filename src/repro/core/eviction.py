@@ -1,0 +1,120 @@
+"""Reference lists and eviction (§III-C3, §IV-A1).
+
+For each migrated block the system maintains a *reference list* of job
+ids expected to read it.  A job id is appended when migration is
+requested and removed when
+
+* the job explicitly evicts (``evict`` RPC),
+* the job reads the block while in *implicit* eviction mode, or
+* the garbage-collection sweep finds the job inactive (the slave
+  "queries the cluster scheduler to check which jobs are active" once
+  memory pressure crosses a threshold).
+
+A block leaves memory when its reference list empties.  Per §IV-A1 the
+realization is "a hash-map that maps a job's ID to the list of blocks
+migrated for the job", which is exactly :attr:`ReferenceTracker._jobs`;
+the inverse map makes per-block reference counting O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.dfs.block import BlockId
+
+__all__ = ["ReferenceTracker"]
+
+
+class ReferenceTracker:
+    """Job <-> block reference bookkeeping.
+
+    Parameters
+    ----------
+    on_block_unreferenced:
+        Callback invoked with a block id the moment its reference list
+        becomes empty -- the migration master hooks eviction here.
+    """
+
+    def __init__(
+        self, on_block_unreferenced: Optional[Callable[[BlockId], None]] = None
+    ) -> None:
+        self._jobs: dict[str, set[BlockId]] = {}
+        self._blocks: dict[BlockId, set[str]] = {}
+        #: Jobs that opted into implicit (evict-on-read) mode.
+        self._implicit_jobs: set[str] = set()
+        self._on_unreferenced = on_block_unreferenced
+
+    # -- queries -----------------------------------------------------------
+
+    def jobs_of(self, block_id: BlockId) -> frozenset[str]:
+        """The block's current reference list."""
+        return frozenset(self._blocks.get(block_id, ()))
+
+    def blocks_of(self, job_id: str) -> frozenset[BlockId]:
+        """Blocks migrated on behalf of ``job_id``."""
+        return frozenset(self._jobs.get(job_id, ()))
+
+    def is_referenced(self, block_id: BlockId) -> bool:
+        return bool(self._blocks.get(block_id))
+
+    def tracked_jobs(self) -> frozenset[str]:
+        """All jobs holding at least one reference."""
+        return frozenset(self._jobs)
+
+    def uses_implicit_eviction(self, job_id: str) -> bool:
+        return job_id in self._implicit_jobs
+
+    # -- reference edits -----------------------------------------------------
+
+    def add_reference(
+        self, block_id: BlockId, job_id: str, implicit: bool
+    ) -> None:
+        """Append ``job_id`` to the block's reference list."""
+        self._jobs.setdefault(job_id, set()).add(block_id)
+        self._blocks.setdefault(block_id, set()).add(job_id)
+        if implicit:
+            self._implicit_jobs.add(job_id)
+
+    def _drop(self, block_id: BlockId, job_id: str) -> None:
+        jobs = self._blocks.get(block_id)
+        if jobs is None or job_id not in jobs:
+            return
+        jobs.discard(job_id)
+        blocks = self._jobs.get(job_id)
+        if blocks is not None:
+            blocks.discard(block_id)
+            if not blocks:
+                del self._jobs[job_id]
+                self._implicit_jobs.discard(job_id)
+        if not jobs:
+            del self._blocks[block_id]
+            if self._on_unreferenced is not None:
+                self._on_unreferenced(block_id)
+
+    def on_read(self, block_id: BlockId, job_id: str) -> None:
+        """Implicit-mode trim: drop the reference as soon as the job
+        reads the block (§III-C3)."""
+        if job_id in self._implicit_jobs:
+            self._drop(block_id, job_id)
+
+    def remove_job(self, job_id: str) -> None:
+        """Drop every reference held by ``job_id`` (explicit evict or
+        job completion)."""
+        for block_id in tuple(self._jobs.get(job_id, ())):
+            self._drop(block_id, job_id)
+
+    def remove_job_from_blocks(
+        self, job_id: str, block_ids: Iterable[BlockId]
+    ) -> None:
+        """Targeted eviction of specific blocks (file-level evict RPC)."""
+        for block_id in block_ids:
+            self._drop(block_id, job_id)
+
+    def sweep_inactive(self, active_jobs: Iterable[str]) -> list[str]:
+        """Memory-pressure GC (§III-C3): clear every tracked job not in
+        ``active_jobs``; returns the jobs cleared."""
+        active = set(active_jobs)
+        stale = [j for j in self._jobs if j not in active]
+        for job_id in stale:
+            self.remove_job(job_id)
+        return stale

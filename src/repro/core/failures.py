@@ -1,0 +1,117 @@
+"""Failure injection (§III-C).
+
+DYRS "keeps only soft state so the system returns to normal quickly";
+the failure modes and their recovery paths are:
+
+* **master process failure** -- restart with empty state; pending work
+  is lost (affected jobs read from disk), directory rebuilt from
+  slaves (§III-C1);
+* **slave process failure** -- buffer space reclaimed by the OS; the
+  new process tells the master to drop its block state (§III-C2);
+* **whole-server failure** -- data unavailable; the NameNode's missed-
+  heartbeat detector excludes the node from routing (§III-C2).
+
+:class:`FailureInjector` schedules any of these at chosen simulation
+times so experiments and tests can script failure scenarios
+declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import Cluster
+    from repro.core.master import DyrsMaster
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Schedules crash/recover actions against a running system."""
+
+    def __init__(self, cluster: "Cluster", master: Optional["DyrsMaster"] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.master = master
+        #: (time, action, subject) audit log.
+        self.log: list[tuple[float, str, str]] = []
+
+    def _note(self, action: str, subject: str) -> None:
+        self.log.append((self.sim.now, action, subject))
+
+    # -- slave process -------------------------------------------------------
+
+    def crash_slave_at(
+        self, when: float, node_id: int, restart_after: Optional[float] = None
+    ) -> None:
+        """Kill the slave *process* on ``node_id`` at ``when``;
+        optionally restart it ``restart_after`` seconds later."""
+        if self.master is None:
+            raise RuntimeError("no migration master attached")
+
+        def _crash() -> None:
+            self.master.slaves[node_id].crash()
+            self._note("slave-crash", f"node{node_id}")
+
+        self.sim.call_at(when, _crash)
+        if restart_after is not None:
+
+            def _restart() -> None:
+                self.master.slaves[node_id].restart()
+                self._note("slave-restart", f"node{node_id}")
+
+            self.sim.call_at(when + restart_after, _restart)
+
+    # -- master process -------------------------------------------------------
+
+    def crash_master_at(
+        self, when: float, recover_after: Optional[float] = None
+    ) -> None:
+        """Kill the DYRS master at ``when``; optionally bring up the
+        replacement ``recover_after`` seconds later."""
+        if self.master is None:
+            raise RuntimeError("no migration master attached")
+
+        def _crash() -> None:
+            self.master.crash()
+            self._note("master-crash", "master")
+
+        self.sim.call_at(when, _crash)
+        if recover_after is not None:
+
+            def _recover() -> None:
+                self.master.recover()
+                self._note("master-recover", "master")
+
+            self.sim.call_at(when + recover_after, _recover)
+
+    # -- whole server -----------------------------------------------------------
+
+    def crash_node_at(
+        self, when: float, node_id: int, recover_after: Optional[float] = None
+    ) -> None:
+        """Fail the entire server (disk data unavailable, memory lost)."""
+
+        def _crash() -> None:
+            node = self.cluster.node(node_id)
+            node.fail()
+            if self.master is not None:
+                slave = self.master.slaves.get(node_id)
+                if slave is not None and slave.alive:
+                    slave.crash()
+            self._note("node-crash", f"node{node_id}")
+
+        self.sim.call_at(when, _crash)
+        if recover_after is not None:
+
+            def _recover() -> None:
+                node = self.cluster.node(node_id)
+                node.recover()
+                if self.master is not None:
+                    slave = self.master.slaves.get(node_id)
+                    if slave is not None and not slave.alive:
+                        slave.restart()
+                self._note("node-recover", f"node{node_id}")
+
+            self.sim.call_at(when + recover_after, _recover)

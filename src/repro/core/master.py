@@ -1,0 +1,311 @@
+"""The DYRS master: delayed binding + bandwidth-aware targeting.
+
+The master keeps the list of **pending migrations** and runs
+Algorithm 1 over it in a periodic *retargeting* pass that is off the
+heartbeat critical path (§III-D).  Binding happens lazily, when a slave
+pulls: the master hands over only blocks whose current target is that
+slave, and "only assign[s] enough migrations so that the slave does not
+go idle before the next time it queries for more work" (§III-A2).
+
+Heartbeats deliver each slave's ``(estimate, queued)`` pair, which the
+retargeting pass consumes as :class:`~repro.core.targeting.SlaveLoad`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import MigrationMaster
+from repro.core.policies import FifoPolicy, MigrationPolicy
+from repro.core.records import BindingEvent, MigrationRecord
+from repro.core.targeting import SlaveLoad, compute_targets
+from repro.dfs.block import BlockId
+from repro.dfs.namespace import DEFAULT_BLOCK_SIZE
+from repro.sim.process import Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.slave import DyrsSlave
+    from repro.dfs.heartbeat import HeartbeatService
+    from repro.dfs.namenode import HeartbeatReport, NameNode
+
+__all__ = ["DyrsMaster", "DyrsConfig"]
+
+
+@dataclass(frozen=True)
+class DyrsConfig:
+    """Tunables shared by the master and its slaves.
+
+    Attributes
+    ----------
+    ewma_alpha:
+        Estimator smoothing weight (§IV-A).
+    retarget_interval:
+        Seconds between Algorithm 1 passes.  "The cluster administrator
+        can control the rate of updates in order to limit their load"
+        (§III-D).
+    heartbeat_interval:
+        Matches the DFS heartbeat period; slaves also poll for work and
+        re-check memory at this cadence.
+    queue_depth:
+        Local queue target; ``None`` derives it from the heartbeat
+        interval and the best-case block migration time (§III-B).
+    rpc_latency:
+        One-way master<->slave RPC delay; the local queue exists to
+        cover exactly this gap.
+    memory_limit:
+        Per-node hard cap on migrated bytes (``None`` = all of RAM),
+        §IV-A1.
+    gc_threshold:
+        Memory fraction above which a slave triggers the inactive-job
+        sweep (§III-C3).
+    reference_block_size:
+        Size used to convert per-byte estimates to per-block times in
+        Algorithm 1's backlog initialization.
+    estimator_refresh:
+        Whether slaves apply the in-progress estimator update of
+        §IV-A.  The paper's early prototype lacked it ("we only
+        updated the estimate upon the completion of a migration which
+        resulted in a slow update", §V-F2); the ablation bench flips
+        this off to reproduce that comparison.
+    """
+
+    ewma_alpha: float = 0.4
+    retarget_interval: float = 0.5
+    heartbeat_interval: float = 2.0
+    queue_depth: Optional[int] = None
+    rpc_latency: float = 0.05
+    memory_limit: Optional[float] = None
+    gc_threshold: float = 0.9
+    reference_block_size: float = DEFAULT_BLOCK_SIZE
+    estimator_refresh: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.retarget_interval <= 0:
+            raise ValueError(
+                f"retarget_interval must be positive, got {self.retarget_interval}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.rpc_latency < 0:
+            raise ValueError(f"rpc_latency must be >= 0, got {self.rpc_latency}")
+        if not 0 < self.gc_threshold <= 1:
+            raise ValueError(
+                f"gc_threshold must be in (0, 1], got {self.gc_threshold}"
+            )
+        if self.reference_block_size <= 0:
+            raise ValueError(
+                f"reference_block_size must be positive, "
+                f"got {self.reference_block_size}"
+            )
+
+
+class DyrsMaster(MigrationMaster):
+    """Bandwidth-aware migration master (the paper's contribution)."""
+
+    def __init__(
+        self,
+        namenode: "NameNode",
+        config: Optional[DyrsConfig] = None,
+        policy: Optional[MigrationPolicy] = None,
+    ) -> None:
+        super().__init__(namenode)
+        self.config = config or DyrsConfig()
+        self.policy = policy or FifoPolicy()
+        #: Unbound migrations, keyed by block id (insertion ordered).
+        self._pending: dict[BlockId, MigrationRecord] = {}
+        #: Latest per-slave load from heartbeats.
+        self._loads: dict[int, SlaveLoad] = {}
+        self.binding_log: list[BindingEvent] = []
+        self.retarget_passes = 0
+        self._retarget_proc: Optional[Process] = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def register_slave(self, slave: "DyrsSlave") -> None:
+        super().register_slave(slave)
+        # Seed load state from the slave's prior so targeting works
+        # before the first heartbeat arrives.
+        self._loads[slave.node_id] = SlaveLoad(
+            seconds_per_byte=slave.estimator.seconds_per_byte,
+            queued_blocks=slave.queued_blocks,
+        )
+
+    def attach_heartbeats(self, service: "HeartbeatService") -> None:
+        """Subscribe to heartbeat payloads and register slave
+        contributors."""
+        self.namenode.add_heartbeat_observer(self.on_heartbeat)
+        for node_id, slave in self.slaves.items():
+            service.add_contributor(node_id, slave.heartbeat_payload)
+
+    def on_heartbeat(self, report: "HeartbeatReport") -> None:
+        """Harvest ``(estimate, queued)`` from a slave heartbeat."""
+        spb = report.payload.get("dyrs.seconds_per_byte")
+        queued = report.payload.get("dyrs.queued_blocks")
+        if spb is None or queued is None:
+            return
+        self._loads[report.node_id] = SlaveLoad(
+            seconds_per_byte=spb, queued_blocks=queued
+        )
+
+    def start(self) -> None:
+        """Launch the periodic retargeting thread (idempotent)."""
+        if self._retarget_proc is not None and self._retarget_proc.is_alive:
+            return
+        self._retarget_proc = self.sim.process(
+            self._retarget_loop(), name="dyrs-retarget"
+        )
+
+    def stop(self) -> None:
+        """Stop the retargeting thread."""
+        if self._retarget_proc is not None and self._retarget_proc.is_alive:
+            self._retarget_proc.interrupt(cause="stop")
+        self._retarget_proc = None
+
+    def crash(self) -> None:
+        """Master process failure (§III-C1): all soft state is lost.
+
+        Pending and bound-but-unfinished work is forgotten -- affected
+        jobs simply read from disk.  Slaves keep their buffers and the
+        memory directory is rebuilt lazily as slaves report/evict.
+        """
+        self.stop()
+        self._pending.clear()
+        self._loads.clear()
+        self.namenode.memory_directory.clear()
+
+    def recover(self) -> None:
+        """Restart after :meth:`crash`: re-learn slave state.
+
+        The rebuilt directory comes from the slaves' actual pin state
+        ("its state eventually becomes consistent as slaves clean up
+        their buffers", §III-C1).
+        """
+        for slave in self.slaves.values():
+            self._loads[slave.node_id] = SlaveLoad(
+                seconds_per_byte=slave.estimator.seconds_per_byte,
+                queued_blocks=slave.queued_blocks,
+            )
+            for block_id in slave.datanode.memory_block_ids():
+                self.namenode.record_memory_replica(block_id, slave.node_id)
+        self.start()
+
+    # -- pending management -------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Unbound migrations at the master."""
+        return len(self._pending)
+
+    def _on_new_records(self, records: list[MigrationRecord]) -> None:
+        for record in records:
+            self._pending[record.block_id] = record
+        # Immediate pass so pulls arriving before the next periodic
+        # tick see fresh targets (the pass is cheap, §III-D).
+        self.retarget()
+
+    def _on_record_discarded(self, record: MigrationRecord) -> None:
+        self._pending.pop(record.block_id, None)
+
+    # -- Algorithm 1 ---------------------------------------------------------------
+
+    def _eligible_loads(self) -> dict[int, SlaveLoad]:
+        """Slaves that are up and whose node may take new work --
+        available and not draining (a decommissioning node should shed
+        load, not buffer fresh migrations)."""
+        return {
+            node_id: load
+            for node_id, load in self._loads.items()
+            if node_id in self.slaves
+            and self.slaves[node_id].alive
+            and self.namenode.accepts_new_replicas(node_id)
+        }
+
+    def retarget(self) -> dict[int, int]:
+        """One Algorithm 1 pass over the pending list."""
+        self.retarget_passes += 1
+        ordered = self.policy.order(list(self._pending.values()))
+        return compute_targets(
+            ordered,
+            self._eligible_loads(),
+            reference_block_size=self.config.reference_block_size,
+        )
+
+    def reclaim_unavailable(self) -> int:
+        """Requeue work bound to slaves the NameNode considers dead.
+
+        Covers whole-server failures where no replacement process ever
+        registers: the missed-heartbeat detector flags the node and the
+        next retarget tick pulls its unfinished bindings back
+        (§III-C2).  Returns the number of records reclaimed.
+        """
+        from repro.core.records import MigrationStatus
+
+        reclaimed = 0
+        for record in list(self._records.values()):
+            if (
+                record.status in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
+                and record.bound_node is not None
+                and not self.namenode.is_available(record.bound_node)
+            ):
+                self._requeue_after_failure(record)
+                reclaimed += 1
+        return reclaimed
+
+    def _retarget_loop(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.config.retarget_interval)
+                self.reclaim_unavailable()
+                if self._pending:
+                    self.retarget()
+        except Interrupt:
+            return
+
+    # -- binding (the pull protocol) ---------------------------------------------------
+
+    def request_work(self, node_id: int, max_blocks: int) -> list[MigrationRecord]:
+        """Bind up to ``max_blocks`` pending migrations targeted at
+        ``node_id``.
+
+        Only blocks whose *current target* is the asking slave are
+        handed out -- a slow slave whose targets all moved elsewhere
+        gets nothing and stays idle, which is the straggler-avoidance
+        behaviour of §III-A2 / Fig 10.
+        """
+        if max_blocks <= 0:
+            return []
+        granted: list[MigrationRecord] = []
+        for record in self.policy.order(list(self._pending.values())):
+            if len(granted) >= max_blocks:
+                break
+            if record.target_node != node_id:
+                continue
+            record.mark_bound(node_id, self.sim.now)
+            del self._pending[record.block_id]
+            granted.append(record)
+        if granted:
+            slave = self.slaves[node_id]
+            for record in granted:
+                self.binding_log.append(
+                    BindingEvent(
+                        time=self.sim.now,
+                        block_id=record.block_id,
+                        node_id=node_id,
+                        queue_depth_after=slave.queued_blocks + len(granted),
+                    )
+                )
+            # Granting work changes the slave's backlog; fold that into
+            # our view immediately rather than waiting a heartbeat.
+            load = self._loads[node_id]
+            self._loads[node_id] = SlaveLoad(
+                seconds_per_byte=load.seconds_per_byte,
+                queued_blocks=load.queued_blocks + len(granted),
+            )
+        return granted

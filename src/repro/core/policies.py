@@ -1,0 +1,89 @@
+"""Pending-queue ordering policies.
+
+"DYRS schedules migrations using a First-In-First-Out (FIFO) policy.
+In future work, we plan to explore how alternative policies ... can
+improve performance" (§III).  FIFO is the paper's behaviour; the other
+policies implement that future work and feed the policy ablation
+bench.
+
+A policy is a pure ordering function over pending records; the master
+applies it before each targeting pass, so policies compose with (and
+never bypass) the bandwidth-aware binding machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+from repro.core.records import MigrationRecord
+
+__all__ = [
+    "MigrationPolicy",
+    "FifoPolicy",
+    "LifoPolicy",
+    "SmallestJobFirstPolicy",
+    "PriorityPolicy",
+]
+
+
+class MigrationPolicy(Protocol):
+    """Orders pending migrations for targeting and binding."""
+
+    def order(
+        self, pending: Sequence[MigrationRecord]
+    ) -> list[MigrationRecord]:
+        """Return records in the order they should be served."""
+        ...  # pragma: no cover - protocol
+
+
+class FifoPolicy:
+    """The paper's policy: serve in request order."""
+
+    def order(self, pending: Sequence[MigrationRecord]) -> list[MigrationRecord]:
+        return sorted(pending, key=lambda r: (r.requested_at, r.block_id))
+
+
+class LifoPolicy:
+    """Newest request first (a deliberately bad contrast case)."""
+
+    def order(self, pending: Sequence[MigrationRecord]) -> list[MigrationRecord]:
+        return sorted(pending, key=lambda r: (-r.requested_at, r.block_id))
+
+
+class SmallestJobFirstPolicy:
+    """Serve blocks of the job with the least remaining pending bytes.
+
+    A shortest-job-first analogue: small jobs complete their migrations
+    quickly and free memory early; ties fall back to FIFO.  Requires a
+    ``job_of`` mapping from block id to job id.
+    """
+
+    def __init__(self, job_of: Callable[[int], str]) -> None:
+        self.job_of = job_of
+
+    def order(self, pending: Sequence[MigrationRecord]) -> list[MigrationRecord]:
+        remaining: dict[str, float] = {}
+        for record in pending:
+            job = self.job_of(record.block_id)
+            remaining[job] = remaining.get(job, 0.0) + record.block.size
+        return sorted(
+            pending,
+            key=lambda r: (
+                remaining[self.job_of(r.block_id)],
+                r.requested_at,
+                r.block_id,
+            ),
+        )
+
+
+class PriorityPolicy:
+    """Explicit per-job priorities (lower serves first); FIFO within."""
+
+    def __init__(self, priority_of: Callable[[int], int]) -> None:
+        self.priority_of = priority_of
+
+    def order(self, pending: Sequence[MigrationRecord]) -> list[MigrationRecord]:
+        return sorted(
+            pending,
+            key=lambda r: (self.priority_of(r.block_id), r.requested_at, r.block_id),
+        )

@@ -1,0 +1,287 @@
+"""The DYRS slave: serialized migration worker on each DataNode.
+
+Responsibilities (§III, §IV):
+
+* keep a shallow **local queue** of bound migrations -- deep enough
+  that the disk never idles while the next pull is in flight, shallow
+  enough that binding stays late (§III-A1/§III-B);
+* **serialize** migrations -- one disk->memory copy at a time, to
+  avoid seek thrashing (§III-B);
+* maintain the **EWMA migration-time estimator**, including the
+  every-heartbeat in-progress refresh (§IV-A);
+* piggyback ``(estimate, queue depth)`` on heartbeats (§III-D);
+* respect the **memory hard limit**: when space is short, hold
+  migrations until eviction frees memory or the migration is
+  discarded by a missed read (§IV-A1);
+* trigger the memory-pressure **GC sweep** when usage crosses a
+  threshold (§III-C3).
+
+The slave is shared by every master implementation (DYRS, Ignem,
+naive): masters only differ in *when and where* records land in local
+queues.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.estimator import MigrationTimeEstimator
+from repro.core.records import MigrationRecord
+from repro.sim.events import AnyOf, Event
+from repro.sim.process import Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import MigrationMaster
+    from repro.core.master import DyrsConfig
+    from repro.dfs.datanode import DataNode
+
+__all__ = ["DyrsSlave"]
+
+
+class DyrsSlave:
+    """Per-node migration worker."""
+
+    def __init__(
+        self,
+        datanode: "DataNode",
+        master: "MigrationMaster",
+        config: "DyrsConfig",
+    ) -> None:
+        self.datanode = datanode
+        self.node = datanode.node
+        self.node_id = datanode.node_id
+        self.master = master
+        self.config = config
+        self.sim = datanode.node.sim
+        self.estimator = MigrationTimeEstimator(
+            initial_rate=self.node.spec.disk.bandwidth,
+            alpha=config.ewma_alpha,
+        )
+        self._queue: deque[MigrationRecord] = deque()
+        self._active: Optional[MigrationRecord] = None
+        self._worker: Optional[Process] = None
+        self._work_signal: Optional[Event] = None
+        self._space_signal: Optional[Event] = None
+        self._pull_in_flight = False
+        self.alive = False
+        #: Completed migrations: (record, duration), for metrics.
+        self.completed: list[tuple[MigrationRecord, float]] = []
+        master.register_slave(self)
+
+    # -- sizing ------------------------------------------------------------------
+
+    @property
+    def queue_depth_target(self) -> int:
+        """Ideal local queue length (§III-B): the heartbeat interval
+        divided by the best-case per-block migration time."""
+        if self.config.queue_depth is not None:
+            return self.config.queue_depth
+        best_block_time = (
+            self.config.reference_block_size / self.node.spec.disk.bandwidth
+        )
+        return max(1, math.ceil(self.config.heartbeat_interval / best_block_time))
+
+    @property
+    def queued_blocks(self) -> int:
+        """Local queue length including the active migration --
+        the ``numQueued`` the master sees (Algorithm 1)."""
+        return len(self._queue) + (1 if self._active is not None else 0)
+
+    @property
+    def memory_limit(self) -> float:
+        """Hard cap on migrated bytes held on this node (§IV-A1)."""
+        if self.config.memory_limit is not None:
+            return min(self.config.memory_limit, self.node.memory.spec.capacity)
+        return self.node.memory.spec.capacity
+
+    def _memory_fits(self, nbytes: float) -> bool:
+        return self.node.memory.used + nbytes <= self.memory_limit + 1e-9
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the worker loop (idempotent)."""
+        if self.alive:
+            return
+        self.alive = True
+        self._worker = self.sim.process(self._run(), name=f"dyrs-slave:{self.node_id}")
+
+    def crash(self) -> None:
+        """Kill the slave *process*: local queue and buffered data are
+        lost; the OS reclaims the buffer space (§III-C2).
+
+        Record-status bookkeeping is deliberately left to the master's
+        :meth:`~repro.core.base.MigrationMaster.on_slave_failed` -- a
+        dead process cannot tell anyone anything; the master learns of
+        the failure from the replacement's registration or from missed
+        heartbeats.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if self._worker is not None and self._worker.is_alive:
+            self._worker.interrupt(cause="crash")
+        self._worker = None
+        self._active = None
+        self._queue.clear()
+        for block_id in self.datanode.memory_block_ids():
+            self.datanode.unpin_block(block_id)
+
+    def restart(self) -> None:
+        """Start a fresh slave process after a crash.
+
+        "The new slave process should direct the master to drop state
+        about blocks that were previously buffered on that server"
+        (§III-C2).
+        """
+        if self.alive:
+            raise RuntimeError(f"slave {self.node_id} is already running")
+        self.master.on_slave_failed(self.node_id)
+        self._pull_in_flight = False
+        self.start()
+
+    # -- master-facing API ------------------------------------------------------------
+
+    def enqueue(self, record: MigrationRecord) -> None:
+        """Add a bound record to the local queue and wake the worker.
+
+        Used both by the pull path (the worker's own fetches) and by
+        push-style masters (Ignem binds at submission, §VI).
+        """
+        self._queue.append(record)
+        if self._work_signal is not None and not self._work_signal.triggered:
+            self._work_signal.succeed()
+
+    def notify_memory_freed(self) -> None:
+        """Eviction freed memory; wake a worker stalled on space."""
+        if self._space_signal is not None and not self._space_signal.triggered:
+            self._space_signal.succeed()
+
+    def heartbeat_payload(self) -> dict:
+        """Heartbeat contributor: refresh the estimator against the
+        active migration (§IV-A) and report load (§III-D)."""
+        if (
+            self.config.estimator_refresh
+            and self._active is not None
+            and self._active.started_at is not None
+        ):
+            elapsed = self.sim.now - self._active.started_at
+            self.estimator.refresh(elapsed, self._active.block.size, now=self.sim.now)
+        return {
+            "dyrs.seconds_per_byte": self.estimator.seconds_per_byte,
+            "dyrs.queued_blocks": self.queued_blocks,
+        }
+
+    # -- worker internals ---------------------------------------------------------------
+
+    def _space_available(self) -> int:
+        return self.queue_depth_target - self.queued_blocks
+
+    def _maybe_pull(self):
+        """Fetch more work if there is queue space and no pull racing.
+
+        Models the master round trip with ``rpc_latency``; during the
+        round trip the worker keeps draining the local queue -- that is
+        precisely why the queue exists (§III-B).
+        """
+        if self._pull_in_flight or not self.alive:
+            return
+        space = self._space_available()
+        if space <= 0:
+            return
+        self._pull_in_flight = True
+        self.sim.process(self._pull(space), name=f"pull:{self.node_id}")
+
+    def _pull(self, space: int):
+        try:
+            if self.config.rpc_latency > 0:
+                yield self.sim.timeout(self.config.rpc_latency)
+            records = self.master.request_work(self.node_id, space)
+            if self.config.rpc_latency > 0:
+                yield self.sim.timeout(self.config.rpc_latency)
+        finally:
+            self._pull_in_flight = False
+        if not self.alive:
+            return
+        for record in records:
+            if not record.status.is_terminal:
+                self.enqueue(record)
+
+    def _run(self):
+        sim = self.sim
+        try:
+            while True:
+                self._maybe_pull()
+                if not self._queue:
+                    # Idle: wait for work, re-polling the master at
+                    # heartbeat cadence (periodic query, §III-A1).
+                    self._work_signal = Event(sim, name=f"work:{self.node_id}")
+                    yield AnyOf(
+                        sim,
+                        [self._work_signal, sim.timeout(self.config.heartbeat_interval)],
+                    )
+                    self._work_signal = None
+                    continue
+                record = self._queue.popleft()
+                if record.status.is_terminal:
+                    continue  # discarded while queued (missed read etc.)
+                # Claim the slot *before* pulling, so the in-flight
+                # record counts against the queue-depth target and a
+                # racing pull cannot overshoot it.
+                self._active = record
+                self._maybe_pull()  # space just opened
+                try:
+                    done = yield from self._migrate_one(record)
+                finally:
+                    self._active = None
+                if done and self._space_available() > 0:
+                    self._maybe_pull()
+        except Interrupt:
+            return
+
+    def _migrate_one(self, record: MigrationRecord):
+        """Execute one serialized migration; returns True if completed."""
+        sim = self.sim
+        block = record.block
+        # Memory-pressure GC, then wait for space (§IV-A1, §III-C3).
+        if self.node.memory.used >= self.config.gc_threshold * self.memory_limit:
+            self.master.gc_sweep()
+        while not self._memory_fits(block.size):
+            self._space_signal = Event(sim, name=f"space:{self.node_id}")
+            yield AnyOf(
+                sim,
+                [self._space_signal, sim.timeout(self.config.heartbeat_interval)],
+            )
+            self._space_signal = None
+            if record.status.is_terminal:
+                return False  # discarded while waiting (missed read)
+        if record.status.is_terminal:
+            # The GC sweep above may have discarded this very record
+            # (its job went inactive while it sat in our queue).
+            return False
+        record.mark_active(sim.now)
+        started = sim.now
+        copy_done = self.datanode.migrate_block_to_memory(
+            block, tag=f"migrate:{block.block_id}"
+        )
+        yield copy_done
+        duration = sim.now - started
+        if record.status.is_terminal:
+            # Discarded mid-copy (e.g. the master reclaimed work from a
+            # presumed-dead slave); the bytes were read for nothing.
+            return False
+        self.estimator.observe(duration, block.size, now=sim.now)
+        self.datanode.pin_block(block)
+        record.mark_done(sim.now)
+        self.completed.append((record, duration))
+        self.master.on_migration_complete(record, self.node_id, duration)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return (
+            f"<DyrsSlave node{self.node_id} {state} queued={len(self._queue)} "
+            f"active={self._active is not None}>"
+        )

@@ -1,0 +1,71 @@
+"""Blocks: the unit of storage, replication, and migration.
+
+Files are split into fixed-size blocks (HDFS default 128 MB; the
+paper's worst-case analysis uses 256 MB blocks, §II-C2).  Each block
+has ``r`` replicas on distinct DataNodes.  DYRS migrates exactly one
+replica of each block into memory (§III-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Block", "BlockId"]
+
+#: Globally unique block identifier.
+BlockId = int
+
+
+@dataclass
+class Block:
+    """One DFS block.
+
+    Attributes
+    ----------
+    block_id:
+        Unique id assigned by the NameNode.
+    file:
+        Name of the owning file.
+    index:
+        Position of this block within the file.
+    size:
+        Bytes (the final block of a file may be short).
+    replica_nodes:
+        Node ids of the DataNodes holding a disk replica.
+    """
+
+    block_id: BlockId
+    file: str
+    index: int
+    size: float
+    replica_nodes: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"block size must be positive, got {self.size}")
+        if self.index < 0:
+            raise ValueError(f"block index must be >= 0, got {self.index}")
+        if len(set(self.replica_nodes)) != len(self.replica_nodes):
+            raise ValueError(
+                f"duplicate replica nodes for block {self.block_id}: "
+                f"{self.replica_nodes}"
+            )
+
+    def get_replica_locations(self) -> Sequence[int]:
+        """Node ids hosting a disk replica (paper Algorithm 1 naming)."""
+        return self.replica_nodes
+
+    def __hash__(self) -> int:
+        return hash(self.block_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Block):
+            return NotImplemented
+        return self.block_id == other.block_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Block #{self.block_id} {self.file}[{self.index}] "
+            f"{self.size:.0f}B on {list(self.replica_nodes)}>"
+        )

@@ -1,0 +1,206 @@
+"""DataNode: block storage and the three read paths.
+
+A DataNode serves a block read from either
+
+* its **disk** (the cold path DYRS wants to avoid),
+* its **memory**, locally (the task runs on this node), or
+* its **memory**, remotely (the data crosses the source NIC --
+  §III: "reads will be directed to the in-memory replica whether it is
+  local or remote to the task making the read").
+
+Each completed read is recorded for the Fig 8 read-distribution
+analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.dfs.block import Block, BlockId
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+
+__all__ = ["DataNode", "ReadSource", "ReadRecord"]
+
+
+class ReadSource(enum.Enum):
+    """Where a block read was served from."""
+
+    LOCAL_MEMORY = "local-memory"
+    REMOTE_MEMORY = "remote-memory"
+    LOCAL_DISK = "local-disk"
+    REMOTE_DISK = "remote-disk"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (ReadSource.LOCAL_MEMORY, ReadSource.REMOTE_MEMORY)
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One completed (started) block read, for metrics."""
+
+    time: float
+    block_id: BlockId
+    nbytes: float
+    source: ReadSource
+    reader_node: Optional[int]
+
+
+class DataNode:
+    """Block storage attached to one worker node."""
+
+    def __init__(self, node: "Node", cancellers: Optional[dict] = None) -> None:
+        self.node = node
+        self.node_id = node.node_id
+        node.datanode = self
+        self._disk_blocks: set[BlockId] = set()
+        #: Reads served by this DataNode (disk or memory), in order.
+        self.read_log: list[ReadRecord] = []
+        #: Shared event -> cancel-callable registry (owned by the
+        #: NameNode) so in-flight reads can be aborted, e.g. when a
+        #: speculative task attempt wins against this one.
+        self._cancellers: dict = cancellers if cancellers is not None else {}
+
+    # -- replica inventory ---------------------------------------------------
+
+    def add_disk_replica(self, block: Block) -> None:
+        """Record that this node stores a disk replica of ``block``."""
+        self._disk_blocks.add(block.block_id)
+
+    def has_disk_replica(self, block_id: BlockId) -> bool:
+        return block_id in self._disk_blocks
+
+    def has_memory_replica(self, block_id: BlockId) -> bool:
+        return self.node.memory.is_pinned(block_id)
+
+    def memory_block_ids(self) -> tuple[BlockId, ...]:
+        """Blocks currently pinned in this node's memory."""
+        return self.node.memory.pinned_keys()  # type: ignore[return-value]
+
+    @property
+    def disk_replica_count(self) -> int:
+        return len(self._disk_blocks)
+
+    # -- migration support (used by the DYRS slave) -----------------------------
+
+    def migrate_block_to_memory(self, block: Block, tag: str = "migration") -> Event:
+        """Start the disk->memory copy; completion event returned.
+
+        The caller pins the block *after* the copy completes --
+        mirroring ``mlock`` returning only once the data is resident
+        (§IV-A: "migration time [is] the time it takes the mlock
+        system call to return").
+        """
+        if block.block_id not in self._disk_blocks:
+            raise KeyError(
+                f"node{self.node_id} has no disk replica of block {block.block_id}"
+            )
+        return self.node.disk.read(block.size, tag=tag)
+
+    def pin_block(self, block: Block) -> None:
+        """Account the migrated block in memory (post-``mlock``)."""
+        self.node.memory.pin(block.block_id, block.size)
+
+    def unpin_block(self, block_id: BlockId) -> float:
+        """Evict a block from memory (``munmap``); idempotent."""
+        return self.node.memory.unpin(block_id)
+
+    # -- read paths ----------------------------------------------------------
+
+    def _remote_memory_transfer(self, nbytes: float, reader_node, tag: str):
+        """Charge a remote memory read: source NIC egress plus, on a
+        multi-rack cluster, both racks' ToR uplinks when the reader is
+        in another rack.  Returns ``(completion event, cancel fn)``.
+        """
+        from repro.sim.events import AllOf
+
+        flows = [self.node.nic.start_send(nbytes, tag=tag)]
+        cluster = self.node.cluster
+        if (
+            cluster is not None
+            and cluster.fabric.rack_aware
+            and reader_node is not None
+            and not cluster.same_rack(self.node_id, reader_node)
+        ):
+            flows.extend(
+                cluster.fabric.cross_rack_flows(
+                    self.node.rack_id,
+                    cluster.rack_of(reader_node),
+                    nbytes,
+                    tag=tag,
+                )
+            )
+        if len(flows) == 1:
+            event = flows[0].done
+        else:
+            event = AllOf(self.node.sim, [f.done for f in flows])
+
+        def cancel() -> None:
+            self.node.nic.egress.cancel(flows[0])
+            if cluster is not None:
+                for i, flow in enumerate(flows[1:]):
+                    resource = (
+                        cluster.fabric.uplinks[self.node.rack_id]
+                        if i == 0
+                        else cluster.fabric.downlinks[cluster.rack_of(reader_node)]
+                    )
+                    resource.cancel(flow)
+
+        return event, cancel
+
+    def read(self, block: Block, reader_node: Optional[int]) -> tuple[Event, ReadSource]:
+        """Serve a read of ``block`` for a task on ``reader_node``.
+
+        Chooses memory over disk; charges the bottleneck resource for
+        the chosen path (see :mod:`repro.cluster.network` for the
+        single-charge rationale).  Returns the completion event and
+        which path was used.
+        """
+        tag = f"read:{block.block_id}"
+        if self.has_memory_replica(block.block_id):
+            if reader_node == self.node_id:
+                source = ReadSource.LOCAL_MEMORY
+                flow = self.node.memory.start_read(block.size, tag=tag)
+                cancel = lambda: self.node.memory.cancel_read(flow)  # noqa: E731
+                event = flow.done
+            else:
+                source = ReadSource.REMOTE_MEMORY
+                event, cancel = self._remote_memory_transfer(
+                    block.size, reader_node, tag
+                )
+        elif self.has_disk_replica(block.block_id):
+            source = (
+                ReadSource.LOCAL_DISK
+                if reader_node == self.node_id
+                else ReadSource.REMOTE_DISK
+            )
+            flow = self.node.disk.start_stream(block.size, tag=tag)
+            cancel = lambda: self.node.disk.cancel_stream(flow)  # noqa: E731
+            event = flow.done
+        else:
+            raise KeyError(
+                f"node{self.node_id} holds no replica of block {block.block_id}"
+            )
+        self._cancellers[event] = cancel
+        event.add_callback(lambda e: self._cancellers.pop(e, None))
+        self.read_log.append(
+            ReadRecord(
+                time=self.node.sim.now,
+                block_id=block.block_id,
+                nbytes=block.size,
+                source=source,
+                reader_node=reader_node,
+            )
+        )
+        return event, source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DataNode node{self.node_id} disk_blocks={len(self._disk_blocks)} "
+            f"mem_blocks={len(self.memory_block_ids())}>"
+        )

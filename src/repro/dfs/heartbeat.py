@@ -1,0 +1,82 @@
+"""Heartbeat service: periodic DataNode -> NameNode reports.
+
+Each DataNode heartbeats every ``heartbeat_interval`` seconds.  The
+payload is assembled from *contributors* -- callables returning dicts
+-- so the DYRS slave can piggyback its migration-time estimate and
+queue depth without the DFS layer knowing about migration at all
+(§III-D: "During heartbeats, the master stores each slave's estimate of
+migration time and the number of blocks currently queued").
+
+A dead node (``node.alive == False``) simply stops heartbeating, which
+is how the NameNode's miss-counting failure detector notices it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dfs.namenode import HeartbeatReport, NameNode
+from repro.sim.process import Interrupt, Process
+
+__all__ = ["HeartbeatService"]
+
+
+class HeartbeatService:
+    """Runs one heartbeat loop per DataNode."""
+
+    def __init__(self, namenode: NameNode, jitter: float = 0.0) -> None:
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.namenode = namenode
+        self.sim = namenode.sim
+        self.jitter = jitter
+        self._processes: list[Process] = []
+        self._contributors: dict[int, list[Callable[[], dict]]] = {
+            nid: [] for nid in namenode.datanodes
+        }
+        self._started = False
+
+    def add_contributor(
+        self, node_id: int, contributor: Callable[[], dict]
+    ) -> None:
+        """Merge ``contributor()`` into node ``node_id``'s payloads."""
+        self._contributors[node_id].append(contributor)
+
+    def start(self) -> None:
+        """Launch all heartbeat loops (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        rng = self.namenode.cluster.rngs.stream("heartbeat.jitter")
+        for node_id in self.namenode.datanodes:
+            offset = float(rng.random() * self.jitter) if self.jitter else 0.0
+            self._processes.append(
+                self.sim.process(self._loop(node_id, offset), name=f"hb:{node_id}")
+            )
+
+    def stop(self) -> None:
+        """Stop every heartbeat loop."""
+        for proc in self._processes:
+            if proc.is_alive:
+                proc.interrupt(cause="stop")
+        self._processes = []
+        self._started = False
+
+    def _loop(self, node_id: int, offset: float):
+        sim = self.sim
+        interval = self.namenode.heartbeat_interval
+        node = self.namenode.cluster.node(node_id)
+        try:
+            if offset:
+                yield sim.timeout(offset)
+            while True:
+                if node.alive:
+                    payload: dict = {}
+                    for contributor in self._contributors[node_id]:
+                        payload.update(contributor())
+                    self.namenode.receive_heartbeat(
+                        HeartbeatReport(node_id=node_id, time=sim.now, payload=payload)
+                    )
+                yield sim.timeout(interval)
+        except Interrupt:
+            return

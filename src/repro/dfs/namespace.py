@@ -1,0 +1,129 @@
+"""The file namespace: files -> ordered lists of blocks.
+
+The DYRS master "maps the files to blocks in the file system" when a
+client requests migration (§III); this module is that mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Iterable, Sequence
+
+from repro.dfs.block import Block, BlockId
+from repro.units import MB
+
+__all__ = ["Namespace", "FileEntry", "DEFAULT_BLOCK_SIZE"]
+
+#: The paper's worst-case analysis assumes large 256 MB blocks (§II-C2).
+DEFAULT_BLOCK_SIZE = 256 * MB
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """Metadata for one file."""
+
+    name: str
+    size: float
+    blocks: tuple[Block, ...]
+
+
+class Namespace:
+    """File and block bookkeeping (the NameNode's namespace half)."""
+
+    def __init__(self, block_size: float = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.block_size = float(block_size)
+        self._files: dict[str, FileEntry] = {}
+        self._blocks: dict[BlockId, Block] = {}
+        self._next_block_id = count()
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def file(self, name: str) -> FileEntry:
+        """Metadata for ``name``; raises ``FileNotFoundError``."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def files(self) -> Sequence[FileEntry]:
+        """All files (creation order)."""
+        return tuple(self._files.values())
+
+    def block(self, block_id: BlockId) -> Block:
+        """Look up a block by id."""
+        return self._blocks[block_id]
+
+    def blocks_of(self, names: Iterable[str]) -> list[Block]:
+        """Flatten ``names`` into their blocks, preserving file order.
+
+        This is the master's file->block expansion for a migration
+        request.
+        """
+        out: list[Block] = []
+        for name in names:
+            out.extend(self.file(name).blocks)
+        return out
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of all file sizes."""
+        return sum(f.size for f in self._files.values())
+
+    # -- mutation ------------------------------------------------------------
+
+    def split_into_block_sizes(self, size: float) -> list[float]:
+        """Block sizes for a file of ``size`` bytes (last may be short)."""
+        if size <= 0:
+            raise ValueError(f"file size must be positive, got {size}")
+        sizes: list[float] = []
+        remaining = float(size)
+        while remaining > 0:
+            sizes.append(min(self.block_size, remaining))
+            remaining -= sizes[-1]
+        return sizes
+
+    def add_file(
+        self, name: str, size: float, replica_sets: Sequence[Sequence[int]]
+    ) -> FileEntry:
+        """Register a file whose blocks live on ``replica_sets``.
+
+        ``replica_sets[i]`` is the tuple of node ids holding block i;
+        the placement policy computes it (see
+        :mod:`repro.dfs.placement`).
+        """
+        if name in self._files:
+            raise FileExistsError(name)
+        sizes = self.split_into_block_sizes(size)
+        if len(replica_sets) != len(sizes):
+            raise ValueError(
+                f"file {name!r} needs {len(sizes)} replica sets, "
+                f"got {len(replica_sets)}"
+            )
+        blocks = tuple(
+            Block(
+                block_id=next(self._next_block_id),
+                file=name,
+                index=i,
+                size=sizes[i],
+                replica_nodes=tuple(replica_sets[i]),
+            )
+            for i in range(len(sizes))
+        )
+        entry = FileEntry(name=name, size=float(size), blocks=blocks)
+        self._files[name] = entry
+        for block in blocks:
+            self._blocks[block.block_id] = block
+        return entry
+
+    def remove_file(self, name: str) -> None:
+        """Delete a file and its blocks from the namespace."""
+        entry = self.file(name)
+        for block in entry.blocks:
+            del self._blocks[block.block_id]
+        del self._files[name]

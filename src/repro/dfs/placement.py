@@ -1,0 +1,147 @@
+"""Replica placement policies.
+
+HDFS places ``r`` (default 3) replicas of each block on distinct
+DataNodes.  The experiments need two properties from placement:
+
+* replicas spread roughly evenly (so every node hosts data and a
+  uniform migration scheme like Ignem really does load every node), and
+* determinism under a seed.
+
+``RandomPlacement`` mirrors HDFS-on-one-rack behaviour;
+``RoundRobinPlacement`` gives exactly-even spread for controlled
+experiments like the Fig 8 read-distribution study.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PlacementPolicy",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "RackAwarePlacement",
+]
+
+
+class PlacementPolicy(Protocol):
+    """Chooses the replica nodes for each block of a new file."""
+
+    def place(self, n_blocks: int, replication: int) -> list[tuple[int, ...]]:
+        """Return ``n_blocks`` tuples of distinct node ids."""
+        ...  # pragma: no cover - protocol
+
+
+def _validate(n_nodes: int, replication: int) -> None:
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    if replication > n_nodes:
+        raise ValueError(
+            f"replication {replication} exceeds cluster size {n_nodes}"
+        )
+
+
+class RandomPlacement:
+    """Replicas on ``replication`` distinct uniformly-random nodes."""
+
+    def __init__(self, n_nodes: int, rng: np.random.Generator) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.rng = rng
+
+    def place(self, n_blocks: int, replication: int) -> list[tuple[int, ...]]:
+        _validate(self.n_nodes, replication)
+        return [
+            tuple(
+                int(x)
+                for x in self.rng.choice(
+                    self.n_nodes, size=replication, replace=False
+                )
+            )
+            for _ in range(n_blocks)
+        ]
+
+
+class RackAwarePlacement:
+    """HDFS's default policy, generalized.
+
+    For each block: the first replica on a uniformly random node, and
+    the remaining replicas on distinct nodes of *one* different rack
+    (HDFS's "second and third replica on the same remote rack" rule,
+    which bounds cross-rack write traffic while tolerating a full rack
+    failure).  Falls back to any distinct nodes when the topology is
+    too small (single rack, or the remote rack has too few nodes).
+
+    Parameters
+    ----------
+    rack_of:
+        ``rack_of[node_id]`` is the node's rack.
+    rng:
+        Seeded generator.
+    """
+
+    def __init__(self, rack_of: Sequence[int], rng: np.random.Generator) -> None:
+        if not rack_of:
+            raise ValueError("rack_of must name at least one node")
+        self.rack_of = tuple(rack_of)
+        self.n_nodes = len(rack_of)
+        self.rng = rng
+        self._by_rack: dict[int, list[int]] = {}
+        for node, rack in enumerate(rack_of):
+            self._by_rack.setdefault(rack, []).append(node)
+
+    def _fill_distinct(self, chosen: list[int], needed: int) -> list[int]:
+        """Top up ``chosen`` with random distinct nodes."""
+        pool = [n for n in range(self.n_nodes) if n not in chosen]
+        extra = self.rng.choice(len(pool), size=needed, replace=False)
+        return chosen + [pool[int(i)] for i in extra]
+
+    def place(self, n_blocks: int, replication: int) -> list[tuple[int, ...]]:
+        _validate(self.n_nodes, replication)
+        out: list[tuple[int, ...]] = []
+        for _ in range(n_blocks):
+            first = int(self.rng.integers(self.n_nodes))
+            chosen = [first]
+            if replication > 1:
+                remote_racks = [
+                    r for r in self._by_rack if r != self.rack_of[first]
+                ]
+                if remote_racks:
+                    rack = remote_racks[int(self.rng.integers(len(remote_racks)))]
+                    candidates = self._by_rack[rack]
+                    take = min(replication - 1, len(candidates))
+                    picks = self.rng.choice(len(candidates), size=take, replace=False)
+                    chosen += [candidates[int(i)] for i in picks]
+                if len(chosen) < replication:
+                    chosen = self._fill_distinct(chosen, replication - len(chosen))
+            out.append(tuple(chosen))
+        return out
+
+
+class RoundRobinPlacement:
+    """Deterministic, exactly-even replica spread.
+
+    Block ``i`` of the sequence gets nodes
+    ``{(c + i) mod N, (c + i + 1) mod N, ...}`` where ``c`` is a
+    cursor persisting across files, so consecutive files keep rotating.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self._cursor = 0
+
+    def place(self, n_blocks: int, replication: int) -> list[tuple[int, ...]]:
+        _validate(self.n_nodes, replication)
+        out: list[tuple[int, ...]] = []
+        for _ in range(n_blocks):
+            base = self._cursor
+            out.append(
+                tuple((base + j) % self.n_nodes for j in range(replication))
+            )
+            self._cursor = (self._cursor + 1) % self.n_nodes
+        return out

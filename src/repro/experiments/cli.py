@@ -1,0 +1,155 @@
+"""``dyrs-bench``: run any experiment from the command line.
+
+Examples::
+
+    dyrs-bench list
+    dyrs-bench motivation
+    dyrs-bench swim --seed 3 --csv out/
+    dyrs-bench all
+
+Each experiment prints the same rows/series the paper's corresponding
+table or figure reports; ``--csv DIR`` additionally writes the
+underlying data for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _motivation():
+    from repro.experiments import motivation
+
+    return motivation.run, motivation.report
+
+
+def _hive():
+    from repro.experiments import hive
+
+    return hive.run, hive.report
+
+
+def _swim():
+    from repro.experiments import swim
+
+    return swim.run, swim.report
+
+
+def _sort_reads():
+    from repro.experiments import sort_reads
+
+    return sort_reads.run, sort_reads.report
+
+
+def _tracking():
+    from repro.experiments import tracking
+
+    return tracking.run, tracking.report
+
+
+def _stragglers():
+    from repro.experiments import stragglers
+
+    return stragglers.run, stragglers.report
+
+
+def _sort_sweeps():
+    from repro.experiments import sort_sweeps
+
+    return sort_sweeps.run, sort_sweeps.report
+
+
+def _micro():
+    from repro.experiments import micro
+
+    return (lambda seed=0: micro.run()), micro.report
+
+
+def _ablations():
+    from repro.experiments import ablations
+
+    def run(seed: int = 0):
+        return [
+            ablations.run_binding_delay(seed=seed),
+            ablations.run_estimator_refresh(seed=seed),
+            ablations.run_queue_depth(seed=seed),
+            ablations.run_alpha_sweep(seed=seed),
+            ablations.run_policies(seed=seed),
+            ablations.run_speculation(seed=seed),
+            ablations.run_memory_limit(seed=seed),
+            ablations.run_delay_scheduling(seed=seed),
+            ablations.run_racks(seed=seed),
+        ]
+
+    return run, ablations.report
+
+
+#: name -> (paper artifact, loader returning (run, report))
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "motivation": ("Fig 1 / Fig 2 / Fig 3", _motivation),
+    "hive": ("Fig 4a / Fig 4b", _hive),
+    "swim": ("Table I / Fig 5 / Fig 6 / Fig 7", _swim),
+    "sort-reads": ("Fig 8a-8d", _sort_reads),
+    "tracking": ("Fig 9a-9e / Table II", _tracking),
+    "stragglers": ("Fig 10", _stragglers),
+    "sort-sweeps": ("Fig 11a / Fig 11b", _sort_sweeps),
+    "micro": ("§I read-path micro-claims", _micro),
+    "ablations": ("DESIGN.md §6 ablations", _ablations),
+}
+
+
+def run_one(name: str, seed: int, csv_dir: Optional[str] = None) -> str:
+    """Run one experiment; returns its rendered report."""
+    _, loader = EXPERIMENTS[name]
+    run, report = loader()
+    result = run(seed=seed)
+    if csv_dir is not None:
+        from repro.experiments.export import EXPORTERS, export_result
+
+        if name in EXPORTERS:
+            paths = export_result(name, result, csv_dir)
+            print(f"[wrote {len(paths)} CSV file(s) under {csv_dir}]")
+    return report(result)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dyrs-bench",
+        description="Reproduce the DYRS paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=list(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('list' to enumerate, 'all' for everything)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also export the figure/table data as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (artifact, _) in EXPERIMENTS.items():
+            print(f"{name:12s} {artifact}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        artifact, _ = EXPERIMENTS[name]
+        print(f"\n######## {name} -- {artifact} ########")
+        started = time.perf_counter()
+        print(run_one(name, args.seed, args.csv))
+        print(f"[{name}: {time.perf_counter() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""CSV export of experiment results.
+
+``dyrs-bench <experiment> --csv DIR`` writes each figure/table's
+underlying data as CSV so it can be plotted with any external tool
+(the text reports are sparklines; papers want vector plots).  One file
+per artifact, named after the paper's figure/table.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from repro.units import GB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.hive import HiveResult
+    from repro.experiments.motivation import MotivationResult
+    from repro.experiments.sort_reads import ReadDistributionResult
+    from repro.experiments.sort_sweeps import SortSweepResult
+    from repro.experiments.stragglers import StragglerResult
+    from repro.experiments.swim import SwimResult
+    from repro.experiments.tracking import TrackingResult
+
+__all__ = ["export_result", "EXPORTERS"]
+
+
+def _write(path: Path, headers: list[str], rows: list[list]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_motivation(result: "MotivationResult", outdir: Path) -> list[Path]:
+    paths = []
+    paths.append(
+        _write(
+            outdir / "fig1_node_utilization.csv",
+            ["bin"] + [f"node_{label}" for label in ("busy", "median", "idle")],
+            [
+                [i] + [float(result.fig1_series[j, i]) for j in range(3)]
+                for i in range(result.fig1_series.shape[1])
+            ],
+        )
+    )
+    paths.append(
+        _write(
+            outdir / "fig2_leadtime_pdf.csv",
+            ["lead_read_ratio", "density"],
+            [[c, d] for c, d in result.fig2_pdf],
+        )
+    )
+    paths.append(
+        _write(
+            outdir / "fig3_utilization_cdf.csv",
+            ["utilization", "cumulative_fraction"],
+            [[u, f] for u, f in result.fig3_cdf_points],
+        )
+    )
+    return paths
+
+
+def export_hive(result: "HiveResult", outdir: Path) -> list[Path]:
+    schemes = list(result.durations)
+    rows = []
+    for q in result.queries:
+        rows.append(
+            [q, result.input_sizes[q] / GB]
+            + [result.durations[s][q] for s in schemes]
+        )
+    return [
+        _write(
+            outdir / "fig4_hive_queries.csv",
+            ["query", "input_gb"] + [f"{s}_duration_s" for s in schemes],
+            rows,
+        )
+    ]
+
+
+def export_swim(result: "SwimResult", outdir: Path) -> list[Path]:
+    paths = []
+    paths.append(
+        _write(
+            outdir / "table1_swim_summary.csv",
+            ["scheme", "mean_duration_s", "speedup_vs_hdfs"],
+            [
+                [s, result.mean_duration(s), result.speedup_vs_hdfs(s)]
+                for s in result.schemes
+            ],
+        )
+    )
+    if "dyrs" in result.schemes:
+        paths.append(
+            _write(
+                outdir / "fig5_speedup_by_bin.csv",
+                ["bin", "dyrs_speedup"],
+                [
+                    [b, result.bin_speedup("dyrs", b)]
+                    for b in ("small", "medium", "large")
+                    if any(v == b for v in result.bins.values())
+                ],
+            )
+        )
+        paths.append(
+            _write(
+                outdir / "fig6_mapper_durations.csv",
+                ["scheme", "mapper_duration_s"],
+                [
+                    [s, d]
+                    for s in result.schemes
+                    for d in result.map_durations[s]
+                ],
+            )
+        )
+    if "instant" in result.schemes:
+        paths.append(
+            _write(
+                outdir / "fig7_memory_per_server.csv",
+                ["scheme", "server", "mean_resident_bytes", "peak_bytes"],
+                [
+                    [s, i, mean, peak]
+                    for s in ("dyrs", "instant")
+                    if s in result.schemes
+                    for i, (mean, peak) in enumerate(
+                        zip(
+                            result.mean_memory_per_server[s],
+                            result.peak_memory_per_server[s],
+                        )
+                    )
+                ],
+            )
+        )
+    return paths
+
+
+def export_sort_reads(result: "ReadDistributionResult", outdir: Path) -> list[Path]:
+    rows = []
+    for (scheme, interference), counts in sorted(result.reads.items()):
+        for node_id, count in enumerate(counts):
+            rows.append([scheme, interference, node_id, count])
+    return [
+        _write(
+            outdir / "fig8_read_distribution.csv",
+            ["scheme", "interference", "node", "reads"],
+            rows,
+        )
+    ]
+
+
+def export_tracking(result: "TrackingResult", outdir: Path) -> list[Path]:
+    paths = [
+        _write(
+            outdir / "table2_interference_runtimes.csv",
+            ["pattern", "runtime_s"],
+            [[p, r] for p, r in result.runtimes.items()],
+        )
+    ]
+    rows = []
+    for pattern, by_node in result.estimate_histories.items():
+        for node_id, history in by_node.items():
+            for t, estimate in history:
+                rows.append([pattern, node_id, t, estimate])
+    paths.append(
+        _write(
+            outdir / "fig9_estimator_series.csv",
+            ["pattern", "node", "time_s", "block_migration_estimate_s"],
+            rows,
+        )
+    )
+    return paths
+
+
+def export_stragglers(result: "StragglerResult", outdir: Path) -> list[Path]:
+    rows = []
+    for scheme, timeline in result.last_migrations.items():
+        for t, node in timeline:
+            rows.append([scheme, t, node])
+    return [
+        _write(
+            outdir / "fig10_last_migrations.csv",
+            ["scheme", "time_rel_last_s", "node"],
+            rows,
+        )
+    ]
+
+
+def export_sort_sweeps(result: "SortSweepResult", outdir: Path) -> list[Path]:
+    rows = []
+    for (scheme, size, extra), duration in result.end_to_end.items():
+        rows.append(
+            [
+                scheme,
+                size / GB,
+                extra,
+                result.map_phase[(scheme, size, extra)],
+                duration,
+            ]
+        )
+    return [
+        _write(
+            outdir / "fig11_sort_sweeps.csv",
+            ["scheme", "input_gb", "extra_lead_s", "map_phase_s", "end_to_end_s"],
+            rows,
+        )
+    ]
+
+
+#: experiment name -> exporter (same keys as the CLI registry where a
+#: structured export exists).
+EXPORTERS = {
+    "motivation": export_motivation,
+    "hive": export_hive,
+    "swim": export_swim,
+    "sort-reads": export_sort_reads,
+    "tracking": export_tracking,
+    "stragglers": export_stragglers,
+    "sort-sweeps": export_sort_sweeps,
+}
+
+
+def export_result(name: str, result, outdir: Union[str, Path]) -> list[Path]:
+    """Write ``result``'s CSV files into ``outdir``; returns the paths.
+
+    Raises ``KeyError`` for experiments without a structured export
+    (micro/ablations print scalar tables only).
+    """
+    return EXPORTERS[name](result, Path(outdir))

@@ -1,0 +1,118 @@
+"""Fig 4: Hive query durations under the four configurations.
+
+Each of the ten TPC-DS-like queries runs *independently* (fresh
+system, §V-B1) on every scheme, with the §V-C slow node active.  The
+paper's headline numbers:
+
+* HDFS-Inputs-in-RAM speeds queries up by ~50 % on average;
+* DYRS achieves up to 48 % (query 15) and 36 % on average;
+* Ignem makes queries *slower* than plain HDFS;
+* DYRS keeps >25 % speedup even for the largest queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis import format_table, speedup
+from repro.experiments.common import PaperSetup, build_system, warm_up
+from repro.units import GB
+from repro.workloads.hive import build_query_job, hive_query_suite
+
+__all__ = ["HiveResult", "run", "report", "DEFAULT_SCHEMES"]
+
+DEFAULT_SCHEMES = ("hdfs", "ram", "dyrs", "ignem")
+
+
+@dataclass(frozen=True)
+class HiveResult:
+    """Durations per scheme per query (Fig 4a) + input sizes (4b)."""
+
+    queries: tuple[str, ...]
+    input_sizes: dict[str, float]
+    durations: dict[str, dict[str, float]]  # scheme -> query -> seconds
+
+    def normalized(self, scheme: str) -> dict[str, float]:
+        """Durations normalized to HDFS (Fig 4a's y-axis)."""
+        return {
+            q: self.durations[scheme][q] / self.durations["hdfs"][q]
+            for q in self.queries
+        }
+
+    def speedups(self, scheme: str) -> dict[str, float]:
+        """Per-query speedup of ``scheme`` w.r.t. HDFS."""
+        return {
+            q: speedup(self.durations["hdfs"][q], self.durations[scheme][q])
+            for q in self.queries
+        }
+
+    def mean_speedup(self, scheme: str) -> float:
+        values = self.speedups(scheme)
+        return sum(values.values()) / len(values)
+
+    def max_speedup(self, scheme: str) -> tuple[str, float]:
+        values = self.speedups(scheme)
+        best = max(values, key=values.get)
+        return best, values[best]
+
+
+def run(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    seed: int = 0,
+    scale: float = 1.0,
+    interference: str = "persistent-1",
+    job_init_overhead: float = 12.0,
+) -> HiveResult:
+    """Run the ten-query suite on each scheme."""
+    if "hdfs" not in schemes:
+        raise ValueError("the HDFS baseline is required for normalization")
+    suite = hive_query_suite(scale=scale)
+    durations: dict[str, dict[str, float]] = {s: {} for s in schemes}
+    for scheme in schemes:
+        for query in suite:
+            system = build_system(
+                PaperSetup(
+                    scheme=scheme,
+                    seed=seed,
+                    interference=interference,
+                    job_init_overhead=job_init_overhead,
+                )
+            )
+            # Queries run "independently" (§V-B1) but on a testbed
+            # whose estimators carry history; see common.warm_up.
+            warm_up(system)
+            job = build_query_job(query, system)
+            metrics = system.runtime.run_to_completion([job])
+            durations[scheme][query.name] = metrics.jobs[job.job_id].duration
+    return HiveResult(
+        queries=tuple(q.name for q in suite),
+        input_sizes={q.name: q.input_size for q in suite},
+        durations=durations,
+    )
+
+
+def report(result: HiveResult) -> str:
+    """Fig 4a (normalized durations) and Fig 4b (input sizes) as text."""
+    schemes = list(result.durations)
+    rows = []
+    for q in result.queries:
+        row = [q, result.input_sizes[q] / GB]
+        for scheme in schemes:
+            row.append(result.durations[scheme][q] / result.durations["hdfs"][q])
+        rows.append(row)
+    lines = [
+        "== Fig 4a/4b: Hive query durations (normalized to HDFS), sorted by input size ==",
+        format_table(["query", "input(GB)"] + schemes, rows),
+        "",
+    ]
+    for scheme in schemes:
+        if scheme == "hdfs":
+            continue
+        best_q, best = result.max_speedup(scheme)
+        lines.append(
+            f"{scheme:>6s}: mean speedup {result.mean_speedup(scheme):+.0%}, "
+            f"best {best:+.0%} ({best_q})"
+        )
+    lines.append("paper: DYRS mean +36%, best +48% (q15); RAM mean +50%; Ignem negative")
+    return "\n".join(lines)

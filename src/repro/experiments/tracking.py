@@ -1,0 +1,106 @@
+"""Fig 9 + Table II: estimator tracking under interference patterns.
+
+Five interference patterns (Table II) run against a Sort job under
+DYRS; we record each slave's migration-time-estimate history (Fig 9's
+trendlines for nodes #1 and #2 -- our nodes 0 and 1) and the job
+runtime.  The paper's claims:
+
+* the estimate tracks the interference pattern (high while active,
+  recovering while inactive), thanks to the in-progress refresh;
+* setups with the same *total* amount of interference have the same
+  runtime: {alt-10s-1, alt-20s-1} agree, and {persistent-1,
+  alt-10s-2, alt-20s-2} agree (one node's worth of interference at
+  all times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis import ascii_series, format_table
+from repro.experiments.common import PaperSetup, build_system, warm_up
+from repro.units import GB, MB
+from repro.workloads.sort import sort_job
+
+__all__ = ["TrackingResult", "run", "report", "TABLE2_PATTERNS"]
+
+#: Table II's five rows.
+TABLE2_PATTERNS = (
+    "persistent-1",
+    "alt-10s-1",
+    "alt-20s-1",
+    "alt-10s-2",
+    "alt-20s-2",
+)
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    """Runtimes and estimator histories per interference pattern."""
+
+    #: pattern -> sort job runtime (seconds).
+    runtimes: dict[str, float]
+    #: pattern -> node_id -> [(time, estimated seconds per 256MB block)].
+    estimate_histories: dict[str, dict[int, list[tuple[float, float]]]]
+
+    def estimate_range(self, pattern: str, node_id: int) -> tuple[float, float]:
+        """(min, max) of a node's block-migration-time estimate."""
+        hist = self.estimate_histories[pattern][node_id]
+        values = [v for _, v in hist]
+        return (min(values), max(values))
+
+
+def run(
+    patterns: Sequence[str] = TABLE2_PATTERNS,
+    size: float = 10 * GB,
+    seed: int = 0,
+    extra_lead_time: float = 30.0,
+) -> TrackingResult:
+    """Run the Sort job under DYRS for each pattern.
+
+    ``extra_lead_time`` lengthens the migration window so the
+    estimator history has enough samples to show tracking (the paper's
+    Fig 9 spans the whole migration of a sort input).
+    """
+    runtimes: dict[str, float] = {}
+    histories: dict[str, dict[int, list[tuple[float, float]]]] = {}
+    for pattern in patterns:
+        system = build_system(
+            PaperSetup(scheme="dyrs", seed=seed, interference=pattern)
+        )
+        warm_up(system)
+        job = sort_job(
+            system, size=size, job_id="sort", extra_lead_time=extra_lead_time
+        )
+        metrics = system.runtime.run_to_completion([job])
+        runtimes[pattern] = metrics.jobs["sort"].duration
+        block = 256 * MB
+        histories[pattern] = {
+            slave.node_id: [
+                (t, spb * block) for t, spb in slave.estimator.history
+            ]
+            for slave in system.slaves
+        }
+    return TrackingResult(runtimes=runtimes, estimate_histories=histories)
+
+
+def report(result: TrackingResult) -> str:
+    lines = ["== Table II: Sort runtime under interference patterns =="]
+    rows = [[p, result.runtimes[p]] for p in result.runtimes]
+    lines.append(format_table(["pattern", "runtime (s)"], rows))
+    lines.append(
+        "paper: 137 / 127 / 129 / 135 / 137 s -- equal-total-interference "
+        "setups match"
+    )
+    lines.append("")
+    lines.append("== Fig 9: estimated 256MB-block migration time, nodes 0 & 1 ==")
+    for pattern, by_node in result.estimate_histories.items():
+        lines.append(f"-- {pattern} --")
+        for node_id in (0, 1):
+            hist = by_node.get(node_id, [])
+            if len(hist) >= 2:
+                lines.append(
+                    ascii_series([v for _, v in hist], label=f"node{node_id}(s)")
+                )
+    return "\n".join(lines)

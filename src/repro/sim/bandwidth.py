@@ -1,0 +1,306 @@
+"""Fair-share bandwidth resource (processor-sharing with seek penalty).
+
+Disks and NICs are modeled as a capacity ``C`` (bytes/second) shared
+equally among the currently active flows.  Mechanical disks lose
+aggregate throughput when serving concurrent streams because the head
+seeks between them; we model that with an efficiency factor
+
+.. math::
+
+    \\text{aggregate}(k) = \\frac{C}{1 + p \\cdot (k - 1)}
+
+where ``k`` is the number of active flows and ``p`` the seek penalty
+(``p = 0`` recovers ideal processor sharing, as used for NICs and
+memory).  Each flow then progresses at ``aggregate(k) / k``.
+
+This is exactly the effect DYRS exploits and defends against: the paper
+serializes slave migrations "to limit disk read concurrency" (§III-B),
+and interference (``dd`` readers) steals shares of the same resource.
+
+Implementation
+--------------
+
+The resource keeps per-flow remaining byte counts and one scheduled
+*completion wake-up* for the earliest-finishing flow.  On any
+membership change (flow starts, completes, or is cancelled) the
+resource first *advances* every flow's progress using the rate that
+held since the last update, then reschedules the wake-up.  Work is
+conserved: total bytes delivered equals the integral of the aggregate
+rate over time, regardless of how flows come and go.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import URGENT_PRIORITY, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["BandwidthResource", "Flow", "FlowCancelled"]
+
+#: Residual-byte tolerance when deciding a flow has completed.
+_EPSILON_BYTES = 1e-6
+
+
+class FlowCancelled(Exception):
+    """Failure value delivered to waiters of a cancelled flow."""
+
+
+class Flow:
+    """One active transfer on a :class:`BandwidthResource`.
+
+    Attributes
+    ----------
+    done:
+        Event triggering when the transfer completes (value: the flow).
+    nbytes:
+        Total size of the transfer (may be ``inf`` for interference
+        flows that run until cancelled).
+    remaining:
+        Bytes still to move; updated lazily on resource events.
+    tag:
+        Free-form label for metrics/debugging.
+    """
+
+    __slots__ = ("nbytes", "remaining", "done", "tag", "started_at", "_id")
+
+    def __init__(self, sim: "Simulator", nbytes: float, tag: str, flow_id: int):
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done = Event(sim, name=f"flow:{tag}")
+        self.tag = tag
+        self.started_at = sim.now
+        self._id = flow_id
+
+    @property
+    def transferred(self) -> float:
+        """Bytes moved so far (as of the resource's last update)."""
+        if math.isinf(self.nbytes):
+            return self.nbytes - self.remaining if not math.isinf(self.remaining) else 0.0
+        return self.nbytes - self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Flow {self.tag!r} remaining={self.remaining:.3g}/{self.nbytes:.3g}>"
+
+
+class BandwidthResource:
+    """A fair-shared link/disk with an optional concurrency penalty.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Peak sequential throughput in bytes/second.
+    seek_penalty:
+        Per-extra-stream efficiency loss ``p`` (see module docstring).
+        Typical HDD values: 0.3-1.0.  Use 0 for NICs/memory.
+    name:
+        Label for metrics.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float,
+        seek_penalty: float = 0.0,
+        min_efficiency: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if seek_penalty < 0:
+            raise ValueError(f"seek_penalty must be >= 0, got {seek_penalty}")
+        if not 0 <= min_efficiency <= 1:
+            raise ValueError(
+                f"min_efficiency must be in [0, 1], got {min_efficiency}"
+            )
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.seek_penalty = float(seek_penalty)
+        #: Aggregate-throughput floor as a fraction of capacity.  Real
+        #: I/O schedulers batch each stream's sequential run, so the
+        #: aggregate saturates under heavy concurrency instead of
+        #: collapsing; 0 disables the floor.
+        self.min_efficiency = float(min_efficiency)
+        self.name = name
+        self._flows: dict[int, Flow] = {}
+        self._flow_ids = count()
+        self._last_update = sim.now
+        self._wakeup: Optional[Event] = None
+        # Utilization accounting (busy-time integral and bytes moved).
+        self._busy_time = 0.0
+        self._bytes_moved = 0.0
+
+    # -- rates -----------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently sharing the resource."""
+        return len(self._flows)
+
+    def aggregate_rate(self, k: Optional[int] = None) -> float:
+        """Aggregate throughput with ``k`` concurrent flows (bytes/s)."""
+        if k is None:
+            k = len(self._flows)
+        if k <= 0:
+            return 0.0
+        shared = self.capacity / (1.0 + self.seek_penalty * (k - 1))
+        return max(shared, self.capacity * self.min_efficiency)
+
+    def per_flow_rate(self) -> float:
+        """Throughput each active flow currently receives (bytes/s)."""
+        k = len(self._flows)
+        if k == 0:
+            return 0.0
+        return self.aggregate_rate(k) / k
+
+    def expected_duration(self, nbytes: float, extra_flows: int = 0) -> float:
+        """Time to move ``nbytes`` if load stayed as now plus ``extra_flows``.
+
+        A planning helper only -- actual durations depend on how the
+        flow population evolves.
+        """
+        k = len(self._flows) + extra_flows + 1
+        rate = self.aggregate_rate(k) / k
+        return nbytes / rate
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes delivered across all completed/ongoing flows."""
+        self._advance()
+        return self._bytes_moved
+
+    @property
+    def busy_time(self) -> float:
+        """Total time the resource had at least one active flow."""
+        self._advance()
+        return self._busy_time
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall time busy since ``since``."""
+        self._advance()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / elapsed)
+
+    # -- flow control ------------------------------------------------------
+
+    def start_flow(self, nbytes: float, tag: str = "") -> Flow:
+        """Begin a transfer of ``nbytes``; returns its :class:`Flow`.
+
+        ``nbytes`` may be ``math.inf`` for an open-ended flow that only
+        ends via :meth:`cancel` (interference generators use this).
+        Zero-byte flows complete immediately.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        self._advance()
+        flow = Flow(self.sim, nbytes, tag, next(self._flow_ids))
+        if nbytes == 0:
+            flow.done.succeed(flow)
+            return flow
+        self._flows[flow._id] = flow
+        self._reschedule()
+        return flow
+
+    def transfer(self, nbytes: float, tag: str = "") -> Event:
+        """Convenience: start a flow and return its completion event."""
+        return self.start_flow(nbytes, tag=tag).done
+
+    def cancel(self, flow: Flow) -> None:
+        """Abort ``flow``; its ``done`` event fails with FlowCancelled.
+
+        Cancelling an already-finished flow is a no-op.
+        """
+        if flow._id not in self._flows:
+            return
+        self._advance()
+        del self._flows[flow._id]
+        flow.done.fail(FlowCancelled(flow.tag))
+        self._reschedule()
+
+    # -- engine internals --------------------------------------------------
+
+    def _advance(self) -> None:
+        """Apply progress accrued since the last update."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
+            return
+        rate = self.per_flow_rate()
+        moved = rate * dt
+        self._busy_time += dt
+        for flow in self._flows.values():
+            if not math.isinf(flow.remaining):
+                flow.remaining = max(0.0, flow.remaining - moved)
+            self._bytes_moved += moved
+
+    def _next_completion_delay(self) -> float:
+        """Seconds until the earliest flow finishes at current rates."""
+        rate = self.per_flow_rate()
+        shortest = min(
+            (f.remaining for f in self._flows.values()), default=math.inf
+        )
+        if math.isinf(shortest) or rate <= 0:
+            return math.inf
+        return shortest / rate
+
+    def _reschedule(self) -> None:
+        """(Re)arm the single completion wake-up."""
+        if self._wakeup is not None:
+            # Invalidate the old wake-up; it will pop as a no-op.
+            self._wakeup.remove_callback(self._on_wakeup)
+            self._wakeup = None
+        delay = self._next_completion_delay()
+        if math.isinf(delay):
+            return
+        wakeup = Event(self.sim, name=f"bw-wakeup:{self.name}")
+        wakeup.add_callback(self._on_wakeup)
+        wakeup._ok = True
+        self.sim._schedule(wakeup, delay, priority=URGENT_PRIORITY)
+        self._wakeup = wakeup
+
+    def _is_finished(self, flow: Flow) -> bool:
+        """Completion test robust to float residue.
+
+        A flow is done when its residual bytes are negligible -- in
+        absolute terms, relative to the flow size, or (the backstop)
+        when draining them would not advance the simulation clock at
+        all, which would otherwise re-arm a zero-delay wake-up forever.
+        """
+        remaining = flow.remaining
+        if remaining <= _EPSILON_BYTES:
+            return True
+        if math.isinf(remaining):
+            return False
+        if remaining <= 1e-9 * flow.nbytes:
+            return True
+        rate = self.per_flow_rate()
+        now = self.sim.now
+        return rate > 0 and now + remaining / rate <= now
+
+    def _on_wakeup(self, _event: Event) -> None:
+        self._wakeup = None
+        self._advance()
+        finished = [f for f in self._flows.values() if self._is_finished(f)]
+        for flow in finished:
+            del self._flows[flow._id]
+        for flow in finished:
+            flow.remaining = 0.0
+            flow.done.succeed(flow)
+        self._reschedule()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BandwidthResource {self.name!r} cap={self.capacity:.3g}B/s "
+            f"flows={len(self._flows)}>"
+        )

@@ -1,0 +1,160 @@
+"""The simulation engine: clock, event heap, and run loop.
+
+The :class:`Simulator` owns simulated time.  Events are scheduled into
+a binary heap keyed by ``(time, priority, sequence)`` -- the sequence
+number makes ordering of same-time, same-priority events FIFO and the
+whole simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import NORMAL_PRIORITY, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator", "StopSimulation"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` early."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def proc():
+    ...     yield sim.timeout(3)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(proc())
+    >>> sim.run()
+    >>> log
+    [3.0]
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event creation ------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def call_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        priority: int = NORMAL_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback()`` to run at absolute time ``when``.
+
+        Returns the underlying event; ``remove_callback`` can be used
+        to cancel before it fires (the event still pops, harmlessly).
+        """
+        if when < self._now:
+            raise ValueError(f"call_at into the past: {when} < {self._now}")
+        event = Event(self)
+        event.add_callback(lambda _e: callback())
+        event._ok = True
+        self._schedule(event, when - self._now, priority=priority)
+        return event
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL_PRIORITY
+    ) -> None:
+        """Insert a triggered event into the heap (engine internal)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    # -- run loop ------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        IndexError
+            If the heap is empty.
+        """
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if no event fires there, so back-to-back
+        ``run(until=...)`` calls observe a monotonic clock.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"run until the past: {until} < {self._now}")
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_processed(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises
+        ------
+        RuntimeError
+            If the heap drains or ``limit`` is reached first.
+        """
+        while not event.processed:
+            if not self._heap or self._heap[0][0] > limit:
+                raise RuntimeError(
+                    f"simulation ended at t={self._now:.6g} before {event!r} processed"
+                )
+            self.step()
+        if event.ok:
+            return event.value
+        raise event.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6g} pending={len(self._heap)}>"

@@ -1,0 +1,267 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is the unit of synchronization: processes yield
+events and are resumed when the event *triggers*.  Events trigger at a
+specific simulation time, either successfully (carrying a value) or
+with a failure (carrying an exception).
+
+Trigger/processing model
+------------------------
+
+Events move through three states:
+
+``pending``
+    Created but not yet scheduled to trigger.
+``triggered``
+    :meth:`Event.succeed` or :meth:`Event.fail` has been called; the
+    event sits in the simulator's heap waiting for its turn.
+``processed``
+    The simulator has popped the event and run its callbacks.
+
+Callbacks appended after processing would never run, so
+:meth:`Event.add_callback` invokes them immediately in that case (at
+the current simulation time).  This makes ``yield``-ing an
+already-processed event safe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "EventAlreadyTriggered",
+    "NORMAL_PRIORITY",
+    "URGENT_PRIORITY",
+]
+
+#: Default scheduling priority for events triggering at the same time.
+NORMAL_PRIORITY = 1
+#: Priority used for engine-internal bookkeeping that must run before
+#: user events at the same timestamp (e.g. bandwidth re-sharing).
+URGENT_PRIORITY = 0
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when ``succeed``/``fail`` is called on a triggered event."""
+
+
+class Event:
+    """A one-shot synchronization point.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully.
+
+        Only meaningful when :attr:`triggered` is true.
+        """
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception.
+
+        Raises
+        ------
+        RuntimeError
+            If the event has not triggered yet.
+        """
+        if self._ok is None:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-seconds."""
+        if self._ok is not None:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed, carrying ``exception``.
+
+        A failed event re-raises ``exception`` inside every process
+        waiting on it.
+        """
+        if self._ok is not None:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- callbacks -----------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed.
+
+        If the event was already processed the callback runs
+        immediately (synchronously).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Unregister a callback previously added (no-op if absent)."""
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    def _process(self) -> None:
+        """Run callbacks; invoked by the simulator exactly once."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation.
+
+    ``yield sim.timeout(5)`` suspends the yielding process for five
+    simulated seconds.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        name: str = "",
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._schedule(self, self.delay)
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("all events must belong to the same Simulator")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        """Values of all constituent events processed so far.
+
+        ``processed`` (not ``triggered``) is the right filter: a
+        Timeout is born triggered but only counts once the clock has
+        actually reached it.
+        """
+        return {e: e._value for e in self.events if e.processed and e.ok}
+
+
+class AllOf(_Condition):
+    """Triggers when *all* constituent events have triggered.
+
+    The value is a dict mapping each event to its value.  Fails as soon
+    as any constituent fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* constituent event triggers.
+
+    The value is a dict of the events that had triggered at that point.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())

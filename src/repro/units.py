@@ -1,0 +1,63 @@
+"""Unit constants and helpers.
+
+All simulation quantities are plain floats in SI base units:
+
+* time -- seconds
+* data -- bytes
+* rate -- bytes/second
+
+These constants exist so call sites read like the paper
+(``256 * MB`` block size, ``10 * Gbps`` network, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "Gbps",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+]
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+TB = 1024.0 * GB
+
+#: Network rate: 10 Gbps == 10 * Gbps bytes/second.
+Gbps = 1e9 / 8.0
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0:
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}TiB"
+
+
+def fmt_rate(bps: float) -> str:
+    """Human-readable rate in bytes/second."""
+    return f"{fmt_bytes(bps)}/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    if seconds < 2 * HOUR:
+        return f"{seconds / MINUTE:.1f}min"
+    return f"{seconds / HOUR:.1f}h"

@@ -1,0 +1,139 @@
+"""Synthetic Google-cluster-trace model (substitute for [22]).
+
+The real 2011 Google trace is a multi-GB download we cannot fetch
+offline, and the paper only consumes a handful of its aggregates.  We
+therefore generate synthetic per-node utilization series and per-job
+records whose *published* marginals match the paper's analysis:
+
+* Fig 1 -- per-node disk utilization at 5-minute granularity is
+  heterogeneous across nodes (a busy node can average >10x an idle
+  one) and across time;
+* Fig 3 -- over 24 h, ~80 % of utilization samples are below 4 % and
+  the mean is ~3.1 %;
+* §II-C1 / Fig 2 -- job lead-times average ~8.8 s and ~81 % of jobs
+  have lead-time >= read-time.
+
+The generator is seeded and the §II analysis pipeline (utilization
+CDFs, lead/read ratio PDF) runs on its output exactly as the paper's
+ran on the real trace.  DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import DAY, MINUTE
+
+__all__ = [
+    "GoogleTraceModel",
+    "JobTraceRecord",
+    "generate_node_utilization",
+    "generate_job_records",
+]
+
+
+@dataclass(frozen=True)
+class GoogleTraceModel:
+    """Distribution parameters for the synthetic trace.
+
+    The defaults are calibrated (see ``tests/workloads``) so the
+    generated population reproduces the paper's published aggregates.
+
+    Attributes
+    ----------
+    util_log_median:
+        Median of the per-node baseline utilization's lognormal.
+    util_node_sigma:
+        Cross-node spread (bigger -> more heterogeneity, Fig 1).
+    util_time_sigma:
+        Within-node temporal spread.
+    util_ar1:
+        AR(1) coefficient of the temporal log-utilization process
+        (bursts persist across adjacent 5-minute bins).
+    lead_log_mean, lead_log_sigma:
+        Lognormal parameters of job lead-time, calibrated to a ~8.8 s
+        mean.
+    read_log_mean, read_log_sigma:
+        Lognormal parameters of job read-time, calibrated with the
+        lead-time so that ~81 % of jobs have lead >= read.
+    """
+
+    util_log_median: float = 0.022
+    util_node_sigma: float = 1.05
+    util_time_sigma: float = 0.85
+    util_ar1: float = 0.75
+    lead_log_mean: float = 1.455
+    lead_log_sigma: float = 1.2
+    read_log_mean: float = -0.59
+    read_log_sigma: float = 2.0
+
+
+@dataclass(frozen=True)
+class JobTraceRecord:
+    """One job from the (synthetic) trace."""
+
+    job_id: int
+    lead_time: float
+    read_time: float
+
+    @property
+    def lead_read_ratio(self) -> float:
+        return self.lead_time / self.read_time
+
+
+def generate_node_utilization(
+    n_nodes: int,
+    rng: np.random.Generator,
+    duration: float = DAY,
+    bin_width: float = 5 * MINUTE,
+    model: GoogleTraceModel = GoogleTraceModel(),
+) -> np.ndarray:
+    """Per-node disk utilization series, shape ``(n_nodes, n_bins)``.
+
+    Each node draws a persistent baseline (cross-node heterogeneity)
+    and an AR(1) log-burst process (temporal heterogeneity); samples
+    are clipped to [0, 1].
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    n_bins = int(round(duration / bin_width))
+    if n_bins < 1:
+        raise ValueError("duration must cover at least one bin")
+    baselines = model.util_log_median * np.exp(
+        model.util_node_sigma * rng.standard_normal(n_nodes)
+    )
+    # AR(1) in log space, stationary variance util_time_sigma^2.
+    phi = model.util_ar1
+    innovation_sigma = model.util_time_sigma * np.sqrt(1.0 - phi * phi)
+    log_bursts = np.empty((n_nodes, n_bins))
+    log_bursts[:, 0] = model.util_time_sigma * rng.standard_normal(n_nodes)
+    for t in range(1, n_bins):
+        log_bursts[:, t] = phi * log_bursts[:, t - 1] + innovation_sigma * (
+            rng.standard_normal(n_nodes)
+        )
+    # Normalize the lognormal's mean so baselines keep their meaning.
+    mean_correction = np.exp(model.util_time_sigma**2 / 2.0)
+    series = baselines[:, None] * np.exp(log_bursts) / mean_correction
+    return np.clip(series, 0.0, 1.0)
+
+
+def generate_job_records(
+    n_jobs: int,
+    rng: np.random.Generator,
+    model: GoogleTraceModel = GoogleTraceModel(),
+) -> list[JobTraceRecord]:
+    """Per-job lead-time / read-time records (Fig 2's population)."""
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    lead = np.exp(
+        model.lead_log_mean + model.lead_log_sigma * rng.standard_normal(n_jobs)
+    )
+    read = np.exp(
+        model.read_log_mean + model.read_log_sigma * rng.standard_normal(n_jobs)
+    )
+    return [
+        JobTraceRecord(job_id=i, lead_time=float(lead[i]), read_time=float(read[i]))
+        for i in range(n_jobs)
+    ]

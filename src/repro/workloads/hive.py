@@ -1,0 +1,159 @@
+"""Ten TPC-DS-like Hive queries (§V-B1).
+
+The paper runs "a set of ten queries from the TPC-DS benchmark ...
+translated in HiveQL" on Hive 2.3.2 over Tez.  Running real HiveQL is
+out of scope for a simulation; what matters for DYRS is each query's
+*execution shape*:
+
+* a dominant scan stage (on average map tasks account for 97 % of the
+  run time, §II-A) that reads the fact-table input and filters hard
+  (SELECT projections + WHERE predicates);
+* one or more small downstream stages (joins/aggregations over the
+  heavily reduced intermediate data);
+* a tiny final result written back.
+
+Each :class:`HiveQuery` captures a query's scan size, selectivity, and
+stage count; the suite's input sizes span the same ~1-24 GB range that
+Fig 4b shows after scale-down (queries are listed here sorted by input
+size to match the figure's ordering).  Query numbers follow the
+commonly available HiveQL translations of TPC-DS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.compute.job import JobSpec, StageSpec, TaskKind, TaskSpec
+from repro.dfs.client import EvictionMode
+from repro.units import GB, MB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import System
+
+__all__ = ["HiveQuery", "hive_query_suite", "build_query_job"]
+
+
+@dataclass(frozen=True)
+class HiveQuery:
+    """Execution-shape model of one TPC-DS query.
+
+    Attributes
+    ----------
+    name:
+        TPC-DS query label (e.g. ``"q15"``).
+    input_size:
+        Bytes scanned by the initial stage (the fact-table read).
+    selectivity:
+        Fraction of the input surviving the scan stage's filters.
+    downstream_stages:
+        Number of join/aggregate rounds after the scan.
+    map_cpu_per_byte:
+        Scan-stage CPU cost (deserialize + predicate evaluation).
+    """
+
+    name: str
+    input_size: float
+    selectivity: float = 0.05
+    downstream_stages: int = 2
+    map_cpu_per_byte: float = 4.0e-9
+
+    def __post_init__(self) -> None:
+        if self.input_size <= 0:
+            raise ValueError(f"{self.name}: input_size must be positive")
+        if not 0 < self.selectivity <= 1:
+            raise ValueError(f"{self.name}: selectivity must be in (0, 1]")
+        if self.downstream_stages < 0:
+            raise ValueError(f"{self.name}: downstream_stages must be >= 0")
+
+
+def hive_query_suite(scale: float = 1.0) -> list[HiveQuery]:
+    """The ten-query suite, sorted by input size (Fig 4's ordering).
+
+    ``scale`` multiplies every input size, so the suite can be shrunk
+    for quick tests or grown for stress runs.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    suite = [
+        HiveQuery("q52", 1.5 * GB, selectivity=0.03, downstream_stages=2),
+        HiveQuery("q55", 2.0 * GB, selectivity=0.03, downstream_stages=2),
+        HiveQuery("q3", 2.8 * GB, selectivity=0.04, downstream_stages=1),
+        HiveQuery("q43", 3.6 * GB, selectivity=0.05, downstream_stages=2),
+        HiveQuery("q20", 5.0 * GB, selectivity=0.06, downstream_stages=2),
+        HiveQuery("q12", 6.5 * GB, selectivity=0.06, downstream_stages=2),
+        HiveQuery("q15", 8.0 * GB, selectivity=0.04, downstream_stages=1),
+        HiveQuery("q7", 11.0 * GB, selectivity=0.08, downstream_stages=3),
+        HiveQuery("q27", 15.0 * GB, selectivity=0.08, downstream_stages=3),
+        HiveQuery("q89", 22.0 * GB, selectivity=0.10, downstream_stages=3),
+    ]
+    return [
+        HiveQuery(
+            q.name,
+            q.input_size * scale,
+            selectivity=q.selectivity,
+            downstream_stages=q.downstream_stages,
+            map_cpu_per_byte=q.map_cpu_per_byte,
+        )
+        for q in suite
+    ]
+
+
+def build_query_job(
+    query: HiveQuery,
+    system: "System",
+    submit_time: float = 0.0,
+    eviction: EvictionMode = EvictionMode.IMPLICIT,
+    task_overhead_cpu: float = 0.2,
+) -> JobSpec:
+    """Materialize ``query`` against ``system``: create the scan input
+    in the DFS and build the stage DAG."""
+    input_name = f"hive/{query.name}/store_sales"
+    system.load_input(input_name, query.input_size)
+    blocks = system.client.blocks_of([input_name])
+
+    scan_tasks = tuple(
+        TaskSpec(
+            task_id=f"scan-{i}",
+            kind=TaskKind.MAP,
+            block=block,
+            compute_time=task_overhead_cpu + query.map_cpu_per_byte * block.size,
+            local_output=block.size * query.selectivity,
+        )
+        for i, block in enumerate(blocks)
+    )
+    stages = [StageSpec(name="scan", tasks=scan_tasks)]
+
+    # Downstream join/aggregate rounds shrink the data further each
+    # time; they read intermediate data, so DYRS cannot (and per the
+    # paper, need not) accelerate them.
+    stage_input = query.input_size * query.selectivity
+    prev = "scan"
+    for level in range(query.downstream_stages):
+        stage_input *= 0.3
+        n_tasks = max(1, min(8, math.ceil(stage_input / (256 * MB))))
+        is_last = level == query.downstream_stages - 1
+        tasks = tuple(
+            TaskSpec(
+                task_id=f"agg{level}-{i}",
+                kind=TaskKind.REDUCE,
+                intermediate_input=stage_input / n_tasks,
+                compute_time=task_overhead_cpu
+                + 3.0e-9 * (stage_input / n_tasks),
+                dfs_output=(stage_input * 0.1 / n_tasks) if is_last else 0.0,
+                local_output=0.0 if is_last else stage_input * 0.3 / n_tasks,
+            )
+            for i in range(n_tasks)
+        )
+        name = f"agg{level}"
+        stages.append(StageSpec(name=name, tasks=tasks, depends_on=(prev,)))
+        prev = name
+
+    return JobSpec(
+        job_id=f"hive-{query.name}",
+        input_files=(input_name,),
+        stages=tuple(stages),
+        submit_time=submit_time,
+        eviction=eviction,
+    )

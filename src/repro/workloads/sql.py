@@ -1,0 +1,227 @@
+"""A miniature SQL-ish query planner.
+
+The Hive workloads in :mod:`repro.workloads.hive` hard-code each
+query's execution shape.  This module lets users *compose* queries
+semantically -- scans with filter selectivity, joins, aggregations --
+and compiles the logical plan into the stage DAG the runtime executes,
+the way Hive compiles HiveQL into a Tez DAG (§IV-B).
+
+Only the properties that matter to DYRS survive compilation: which DFS
+files the leaves scan (these are what the job-submitter migrates), how
+much data each operator moves, and the stage dependency structure.
+
+Example
+-------
+::
+
+    plan = Aggregate(
+        Join(
+            Scan("store_sales", selectivity=0.05),
+            Scan("date_dim", selectivity=0.2),
+            output_ratio=0.5,
+        ),
+        output_ratio=0.1,
+    )
+    job = compile_query(plan, system, job_id="q3")
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.compute.job import JobSpec, StageSpec, TaskKind, TaskSpec
+from repro.dfs.client import EvictionMode
+from repro.units import MB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import System
+
+__all__ = ["Scan", "Join", "Aggregate", "compile_query", "PlanNode"]
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Leaf: read a DFS table and filter it.
+
+    ``selectivity`` is the fraction of bytes surviving the scan's
+    projections and predicates -- TPC-DS scans typically keep only a
+    few percent (§II-A).
+    """
+
+    table: str
+    selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.selectivity <= 1:
+            raise ValueError(
+                f"scan of {self.table!r}: selectivity must be in (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class Join:
+    """Binary operator: shuffle-join two child plans."""
+
+    left: "PlanNode"
+    right: "PlanNode"
+    #: Output bytes as a fraction of the combined input.
+    output_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.output_ratio <= 0:
+            raise ValueError("join output_ratio must be positive")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Unary operator: group/aggregate a child plan."""
+
+    child: "PlanNode"
+    #: Output bytes as a fraction of the input (aggregations shrink).
+    output_ratio: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.output_ratio <= 1:
+            raise ValueError("aggregate output_ratio must be in (0, 1]")
+
+
+PlanNode = Union[Scan, Join, Aggregate]
+
+
+class _Compiler:
+    """Walks a plan tree bottom-up, emitting stages."""
+
+    def __init__(
+        self,
+        system: "System",
+        cpu_per_byte: float,
+        task_overhead_cpu: float,
+        task_data_target: float,
+        max_tasks: int,
+    ) -> None:
+        self.system = system
+        self.cpu_per_byte = cpu_per_byte
+        self.task_overhead_cpu = task_overhead_cpu
+        self.task_data_target = task_data_target
+        self.max_tasks = max_tasks
+        self.stages: list[StageSpec] = []
+        self.input_files: list[str] = []
+        self._counter = 0
+
+    def _name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _n_tasks(self, input_bytes: float) -> int:
+        return max(
+            1, min(self.max_tasks, math.ceil(input_bytes / self.task_data_target))
+        )
+
+    def compile(self, node: PlanNode, is_root: bool) -> tuple[str, float]:
+        """Emit stages for ``node``; returns (stage name, output bytes)."""
+        if isinstance(node, Scan):
+            return self._compile_scan(node)
+        if isinstance(node, Join):
+            left_name, left_bytes = self.compile(node.left, is_root=False)
+            right_name, right_bytes = self.compile(node.right, is_root=False)
+            input_bytes = left_bytes + right_bytes
+            output = input_bytes * node.output_ratio
+            return self._emit_exchange(
+                "join", (left_name, right_name), input_bytes, output, is_root
+            )
+        if isinstance(node, Aggregate):
+            child_name, child_bytes = self.compile(node.child, is_root=False)
+            output = child_bytes * node.output_ratio
+            return self._emit_exchange(
+                "agg", (child_name,), child_bytes, output, is_root
+            )
+        raise TypeError(f"not a plan node: {node!r}")
+
+    def _compile_scan(self, node: Scan) -> tuple[str, float]:
+        namespace = self.system.namenode.namespace
+        if node.table not in namespace:
+            raise FileNotFoundError(
+                f"table {node.table!r} does not exist; load_input() it first"
+            )
+        self.input_files.append(node.table)
+        blocks = self.system.client.blocks_of([node.table])
+        tasks = tuple(
+            TaskSpec(
+                task_id=f"{node.table.replace('/', '_')}-scan-{i}",
+                kind=TaskKind.MAP,
+                block=block,
+                compute_time=self.task_overhead_cpu
+                + self.cpu_per_byte * block.size,
+                local_output=block.size * node.selectivity,
+            )
+            for i, block in enumerate(blocks)
+        )
+        name = self._name("scan")
+        self.stages.append(StageSpec(name=name, tasks=tasks))
+        total = sum(b.size for b in blocks)
+        return name, total * node.selectivity
+
+    def _emit_exchange(
+        self,
+        kind: str,
+        depends_on: tuple[str, ...],
+        input_bytes: float,
+        output_bytes: float,
+        is_root: bool,
+    ) -> tuple[str, float]:
+        n_tasks = self._n_tasks(input_bytes)
+        tasks = tuple(
+            TaskSpec(
+                task_id=f"{kind}-{self._counter + 1}-{i}",
+                kind=TaskKind.REDUCE,
+                intermediate_input=input_bytes / n_tasks,
+                compute_time=self.task_overhead_cpu
+                + self.cpu_per_byte * (input_bytes / n_tasks),
+                dfs_output=(output_bytes / n_tasks) if is_root else 0.0,
+                local_output=0.0 if is_root else output_bytes / n_tasks,
+            )
+            for i in range(n_tasks)
+        )
+        name = self._name(kind)
+        self.stages.append(
+            StageSpec(name=name, tasks=tasks, depends_on=depends_on)
+        )
+        return name, output_bytes
+
+
+def compile_query(
+    plan: PlanNode,
+    system: "System",
+    job_id: str,
+    submit_time: float = 0.0,
+    eviction: EvictionMode = EvictionMode.IMPLICIT,
+    cpu_per_byte: float = 4.0e-9,
+    task_overhead_cpu: float = 0.2,
+    task_data_target: float = 256 * MB,
+    max_tasks: int = 32,
+    extra_lead_time: float = 0.0,
+) -> JobSpec:
+    """Compile a logical plan into a runnable :class:`JobSpec`.
+
+    Every scanned table must already exist in the DFS
+    (``system.load_input``).  The compiled job's ``input_files`` are
+    exactly the scan leaves, so the §IV-B submission hook migrates all
+    and only the cold tables the query reads.
+    """
+    compiler = _Compiler(
+        system, cpu_per_byte, task_overhead_cpu, task_data_target, max_tasks
+    )
+    root_name, _ = compiler.compile(plan, is_root=True)
+    if isinstance(plan, Scan):
+        # A bare scan has no exchange stage; it is already complete.
+        pass
+    return JobSpec(
+        job_id=job_id,
+        input_files=tuple(dict.fromkeys(compiler.input_files)),
+        stages=tuple(compiler.stages),
+        submit_time=submit_time,
+        eviction=eviction,
+        extra_lead_time=extra_lead_time,
+    )

@@ -1,0 +1,124 @@
+"""SWIM trace-file I/O.
+
+The SWIM project (the source of the paper's Facebook workload, [5])
+distributes its synthesized workloads as whitespace-separated text,
+one job per line::
+
+    <job_name> <submit_time_s> <inter_arrival_gap_s> <input_bytes> \
+    <shuffle_bytes> <output_bytes>
+
+This module reads and writes that format so the harness can replay
+*real* SWIM workload files when available, and export its generated
+workloads for use with actual SWIM tooling.  Scaling helpers apply the
+paper's two trace transformations: shrinking data sizes to fit the
+cluster and compressing inter-arrival times by 75 % (§V-B2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO, Union
+
+from repro.workloads.swim import SwimJobDescriptor
+
+__all__ = [
+    "read_swim_trace",
+    "write_swim_trace",
+    "scale_trace",
+    "compress_interarrivals",
+]
+
+_FIELDS = 6
+
+
+def _parse_line(line: str, lineno: int) -> SwimJobDescriptor:
+    parts = line.split()
+    if len(parts) != _FIELDS:
+        raise ValueError(
+            f"line {lineno}: expected {_FIELDS} fields, got {len(parts)}: {line!r}"
+        )
+    name, submit, _gap, input_b, shuffle_b, output_b = parts
+    return SwimJobDescriptor(
+        job_id=name,
+        submit_time=float(submit),
+        input_size=float(input_b),
+        shuffle_size=float(shuffle_b),
+        output_size=float(output_b),
+    )
+
+
+def read_swim_trace(source: Union[str, Path, TextIO]) -> list[SwimJobDescriptor]:
+    """Parse a SWIM workload file into job descriptors.
+
+    Blank lines and ``#`` comments are skipped.  Jobs are returned in
+    submission order regardless of file order.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_swim_trace(handle)
+    jobs: list[SwimJobDescriptor] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        jobs.append(_parse_line(line, lineno))
+    jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+    return jobs
+
+
+def write_swim_trace(
+    jobs: Sequence[SwimJobDescriptor], destination: Union[str, Path, TextIO]
+) -> None:
+    """Write descriptors in SWIM's format (inverse of
+    :func:`read_swim_trace`)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            write_swim_trace(jobs, handle)
+            return
+    previous = 0.0
+    for job in jobs:
+        gap = job.submit_time - previous
+        previous = job.submit_time
+        destination.write(
+            f"{job.job_id} {job.submit_time:.3f} {gap:.3f} "
+            f"{job.input_size:.0f} {job.shuffle_size:.0f} {job.output_size:.0f}\n"
+        )
+
+
+def scale_trace(
+    jobs: Iterable[SwimJobDescriptor], data_scale: float
+) -> list[SwimJobDescriptor]:
+    """Scale every job's data sizes by ``data_scale`` (the paper's
+    "scale down the job input sizes to fit on our 8-node cluster")."""
+    if data_scale <= 0:
+        raise ValueError(f"data_scale must be positive, got {data_scale}")
+    return [
+        SwimJobDescriptor(
+            job_id=j.job_id,
+            submit_time=j.submit_time,
+            input_size=j.input_size * data_scale,
+            shuffle_size=j.shuffle_size * data_scale,
+            output_size=j.output_size * data_scale,
+        )
+        for j in jobs
+    ]
+
+
+def compress_interarrivals(
+    jobs: Sequence[SwimJobDescriptor], reduction: float = 0.75
+) -> list[SwimJobDescriptor]:
+    """Reduce inter-arrival gaps by ``reduction`` (paper: 75 %), which
+    multiplies every submit time by ``1 - reduction``."""
+    if not 0 <= reduction < 1:
+        raise ValueError(f"reduction must be in [0, 1), got {reduction}")
+    factor = 1.0 - reduction
+    return [
+        SwimJobDescriptor(
+            job_id=j.job_id,
+            submit_time=j.submit_time * factor,
+            input_size=j.input_size,
+            shuffle_size=j.shuffle_size,
+            output_size=j.output_size,
+        )
+        for j in jobs
+    ]

@@ -1,0 +1,147 @@
+"""Tests for the analysis helpers (stats + text rendering)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Cdf,
+    ascii_series,
+    format_table,
+    histogram_pdf,
+    percentile,
+    speedup,
+    summarize,
+)
+
+
+class TestCdf:
+    def test_fraction_below(self):
+        cdf = Cdf.of([1, 2, 3, 4])
+        assert cdf.fraction_below(2.5) == 0.5
+        assert cdf.fraction_below(0) == 0.0
+        assert cdf.fraction_below(100) == 1.0
+
+    def test_quantile_and_mean(self):
+        cdf = Cdf.of([0, 10])
+        assert cdf.quantile(0.5) == 5.0
+        assert cdf.mean == 5.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Cdf.of([1]).quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.of([])
+
+    def test_series_monotone(self):
+        cdf = Cdf.of(np.random.default_rng(0).random(100))
+        pts = cdf.series(20)
+        values = [v for v, _ in pts]
+        fracs = [f for _, f in pts]
+        assert values == sorted(values)
+        assert fracs[0] == 0.0 and fracs[-1] == 1.0
+
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            Cdf.of([1]).series(1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100
+        ),
+        x=st.floats(min_value=-1e6, max_value=1e6),
+    )
+    def test_fraction_below_matches_definition(self, values, x):
+        cdf = Cdf.of(values)
+        expected = sum(1 for v in values if v < x) / len(values)
+        assert cdf.fraction_below(x) == pytest.approx(expected)
+
+
+class TestHistogramAndPercentile:
+    def test_histogram_density_integrates_to_one(self):
+        values = np.random.default_rng(1).normal(size=1000)
+        bins = np.linspace(-5, 5, 21)
+        pdf = histogram_pdf(values, bins)
+        width = bins[1] - bins[0]
+        assert sum(d for _, d in pdf) * width == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_pdf([], [0, 1])
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile(self):
+        assert percentile(range(101), 90) == pytest.approx(90.0)
+
+
+class TestSpeedup:
+    def test_positive(self):
+        assert speedup(31.5, 20.9) == pytest.approx(0.3365, abs=1e-3)
+
+    def test_negative_for_slowdown(self):
+        # Table I's Ignem row: 31.5s -> 66.4s is -111%.
+        assert speedup(31.5, 66.4) == pytest.approx(-1.108, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0, 1)
+
+
+class TestSummarize:
+    def test_keys_and_values(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats["mean"] == 3.0
+        assert stats["median"] == 3.0
+        assert stats["min"] == 1.0 and stats["max"] == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["a", "bb"], [["x", 1.23456], ["yy", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in out  # 4 significant digits
+        assert lines[0].index("bb") == lines[2].index("1.235")
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiSeries:
+    def test_renders_with_label_and_range(self):
+        out = ascii_series([0, 1, 2, 3], label="x")
+        assert "x" in out and "[0..3]" in out
+
+    def test_constant_series(self):
+        out = ascii_series([5, 5, 5])
+        assert "[5..5]" in out
+
+    def test_long_series_downsampled(self):
+        out = ascii_series(list(range(1000)), width=40)
+        # bar characters only; bounded width.
+        bars = out.split("] ")[-1]
+        assert len(bars) <= 41
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_series([])
+        with pytest.raises(ValueError):
+            ascii_series([1], width=0)

@@ -1,0 +1,112 @@
+"""Tests for the fair-share scheduler."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.compute import FairTaskScheduler, TaskScheduler
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec(n_workers=2, node=NodeSpec(task_slots=2), seed=0))
+
+
+def saturate(scheduler, cluster, job_id, n):
+    """Submit n holder tasks for job_id that run 10s each."""
+    grants = []
+
+    def holder():
+        grant = yield scheduler.acquire(job_id=job_id)
+        grants.append(grant)
+        yield cluster.sim.timeout(10)
+        grant.release()
+
+    for _ in range(n):
+        cluster.sim.process(holder())
+    return grants
+
+
+class TestFairScheduler:
+    def test_small_job_jumps_big_jobs_backlog(self, cluster):
+        """Under FIFO a late small job waits behind the big job's whole
+        backlog; under fair share it gets the very next free slot."""
+        results = {}
+        for scheduler_cls in (TaskScheduler, FairTaskScheduler):
+            c = Cluster(ClusterSpec(n_workers=2, node=NodeSpec(task_slots=2), seed=0))
+            scheduler = scheduler_cls(c)
+            saturate(scheduler, c, "big", 10)  # 4 run, 6 queued
+            got = []
+
+            def small():
+                yield c.sim.timeout(1)
+                grant = yield scheduler.acquire(job_id="small")
+                got.append(c.sim.now)
+                grant.release()
+
+            c.sim.process(small())
+            c.sim.run()
+            results[scheduler_cls.__name__] = got[0]
+        assert results["FairTaskScheduler"] < results["TaskScheduler"]
+        # Fair: the first wave releases at t=10 and the small job wins
+        # the freed slot immediately.
+        assert results["FairTaskScheduler"] == pytest.approx(10.0)
+
+    def test_running_share_balances_two_jobs(self, cluster):
+        """With both jobs' requests queued behind a full cluster, freed
+        slots alternate between the jobs instead of draining job a's
+        backlog first."""
+        scheduler = FairTaskScheduler(cluster)
+        sim = cluster.sim
+        saturate(scheduler, cluster, "old", 4)  # holds all slots to t=10
+        sim.run(until=1)
+        grants_by_job = {"a": 0, "b": 0}
+
+        def worker(job_id):
+            grant = yield scheduler.acquire(job_id=job_id)
+            grants_by_job[job_id] += 1
+            yield sim.timeout(100)
+            grant.release()
+
+        for _ in range(4):
+            sim.process(worker("a"))
+        for _ in range(4):
+            sim.process(worker("b"))
+        sim.run(until=50)
+        # The 4 slots freed at t=10 split evenly across the two jobs.
+        assert grants_by_job == {"a": 2, "b": 2}
+
+    def test_running_tasks_accounting(self, cluster):
+        scheduler = FairTaskScheduler(cluster)
+        request = scheduler.acquire(job_id="x")
+        cluster.sim.run()
+        assert scheduler.running_tasks("x") == 1
+        request.value.release()
+        assert scheduler.running_tasks("x") == 0
+
+    def test_fifo_among_same_job(self, cluster):
+        scheduler = FairTaskScheduler(cluster)
+        sim = cluster.sim
+        saturate(scheduler, cluster, "j", 4)
+        order = []
+
+        def waiter(i):
+            yield sim.timeout(0.1 * (i + 1))
+            grant = yield scheduler.acquire(job_id="j")
+            order.append(i)
+            grant.release()
+
+        for i in range(3):
+            sim.process(waiter(i))
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_cancel_works_with_fair_ordering(self, cluster):
+        scheduler = FairTaskScheduler(cluster)
+        saturate(scheduler, cluster, "big", 4)
+        cluster.sim.run(until=1)  # holders now occupy every slot
+        pending = scheduler.acquire(job_id="small")
+        assert not pending.triggered
+        scheduler.cancel_request(pending)
+        cluster.sim.run()
+        assert not pending.triggered
+        assert scheduler.queued_requests == 0

@@ -1,0 +1,134 @@
+"""Tests for job/stage/task specifications and the MapReduce builder."""
+
+import pytest
+
+from repro.compute import JobSpec, StageSpec, TaskKind, TaskSpec, mapreduce_job
+from repro.dfs import Block
+from repro.units import GB, MB
+
+
+def block(i, size=256 * MB):
+    return Block(i, "f", i, size=size, replica_nodes=(i % 3,))
+
+
+class TestTaskSpec:
+    def test_map_requires_input(self):
+        with pytest.raises(ValueError):
+            TaskSpec("m0", TaskKind.MAP)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec("m0", TaskKind.MAP, block=block(0), compute_time=-1)
+
+    def test_reduce_without_block_ok(self):
+        t = TaskSpec("r0", TaskKind.REDUCE, intermediate_input=MB)
+        assert t.block is None
+
+
+class TestStageSpec:
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec("s", tasks=())
+
+    def test_duplicate_task_ids_rejected(self):
+        t = TaskSpec("m0", TaskKind.MAP, block=block(0))
+        with pytest.raises(ValueError):
+            StageSpec("s", tasks=(t, t))
+
+
+class TestJobSpec:
+    def make_stage(self, name, deps=()):
+        return StageSpec(
+            name,
+            tasks=(TaskSpec(f"{name}-t", TaskKind.MAP, block=block(0)),),
+            depends_on=deps,
+        )
+
+    def test_topo_order_respects_deps(self):
+        job = JobSpec(
+            "j",
+            input_files=("f",),
+            stages=(
+                self.make_stage("c", deps=("b",)),
+                self.make_stage("a"),
+                self.make_stage("b", deps=("a",)),
+            ),
+        )
+        assert [s.name for s in job.topo_stages()] == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        job_stages = (
+            self.make_stage("a", deps=("b",)),
+            self.make_stage("b", deps=("a",)),
+        )
+        job = JobSpec.__new__(JobSpec)  # bypass __post_init__ dep check
+        object.__setattr__(job, "job_id", "j")
+        object.__setattr__(job, "stages", job_stages)
+        with pytest.raises(ValueError):
+            job.topo_stages()
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("j", input_files=(), stages=(self.make_stage("a", deps=("zz",)),))
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                "j", input_files=(), stages=(self.make_stage("a"), self.make_stage("a"))
+            )
+
+    def test_no_stages_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("j", input_files=(), stages=())
+
+
+class TestMapReduceBuilder:
+    def test_one_mapper_per_block(self):
+        blocks = [block(i) for i in range(5)]
+        job = mapreduce_job("j", blocks, ["f"], shuffle_bytes=GB, output_bytes=GB)
+        maps = [t for s in job.stages for t in s.tasks if t.kind is TaskKind.MAP]
+        assert len(maps) == 5
+        assert all(m.block in blocks for m in maps)
+
+    def test_map_only_job_has_single_stage(self):
+        job = mapreduce_job("j", [block(0)], ["f"], shuffle_bytes=0, output_bytes=0)
+        assert len(job.stages) == 1
+
+    def test_shuffle_split_across_mappers_and_reducers(self):
+        blocks = [block(i) for i in range(4)]
+        job = mapreduce_job("j", blocks, ["f"], shuffle_bytes=GB, output_bytes=512 * MB)
+        maps = job.stages[0].tasks
+        reduces = job.stages[1].tasks
+        assert sum(m.local_output for m in maps) == pytest.approx(GB)
+        assert sum(r.intermediate_input for r in reduces) == pytest.approx(GB)
+        assert sum(r.dfs_output for r in reduces) == pytest.approx(512 * MB)
+
+    def test_reducer_count_scales_with_shuffle(self):
+        blocks = [block(i) for i in range(2)]
+        small = mapreduce_job("a", blocks, ["f"], shuffle_bytes=64 * MB, output_bytes=0)
+        big = mapreduce_job("b", blocks, ["f"], shuffle_bytes=4 * GB, output_bytes=0)
+        assert len(small.stages[1].tasks) < len(big.stages[1].tasks)
+
+    def test_reducer_count_capped(self):
+        blocks = [block(0)]
+        job = mapreduce_job(
+            "j", blocks, ["f"], shuffle_bytes=100 * GB, output_bytes=0, max_reducers=8
+        )
+        assert len(job.stages[1].tasks) == 8
+
+    def test_map_compute_scales_with_block_size(self):
+        job = mapreduce_job(
+            "j",
+            [block(0, size=256 * MB), block(1, size=64 * MB)],
+            ["f"],
+            shuffle_bytes=0,
+            output_bytes=0,
+        )
+        maps = job.stages[0].tasks
+        assert maps[0].compute_time > maps[1].compute_time
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mapreduce_job("j", [], ["f"], shuffle_bytes=0, output_bytes=0)
+        with pytest.raises(ValueError):
+            mapreduce_job("j", [block(0)], ["f"], shuffle_bytes=-1, output_bytes=0)

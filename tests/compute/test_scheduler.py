@@ -1,0 +1,154 @@
+"""Tests for the slot scheduler."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.compute import TaskScheduler
+
+
+@pytest.fixture
+def cluster():
+    spec = NodeSpec(task_slots=2)
+    return Cluster(ClusterSpec(n_workers=3, node=spec, seed=0))
+
+
+@pytest.fixture
+def scheduler(cluster):
+    return TaskScheduler(cluster)
+
+
+class TestSlots:
+    def test_grant_immediately_when_free(self, cluster, scheduler):
+        got = []
+
+        def task():
+            grant = yield scheduler.acquire()
+            got.append((cluster.sim.now, grant.node_id))
+            grant.release()
+
+        cluster.sim.process(task())
+        cluster.sim.run()
+        assert got and got[0][0] == 0.0
+
+    def test_prefers_preferred_node(self, cluster, scheduler):
+        got = []
+
+        def task():
+            grant = yield scheduler.acquire(preferred_nodes=[2])
+            got.append(grant.node_id)
+            grant.release()
+
+        cluster.sim.process(task())
+        cluster.sim.run()
+        assert got == [2]
+
+    def test_falls_back_to_any_free_node(self, cluster, scheduler):
+        # Fill node 2 completely.
+        holders = [scheduler.acquire(preferred_nodes=[2]) for _ in range(2)]
+        cluster.sim.run()
+        got = []
+
+        def task():
+            grant = yield scheduler.acquire(preferred_nodes=[2])
+            got.append(grant.node_id)
+            grant.release()
+
+        cluster.sim.process(task())
+        cluster.sim.run()
+        assert got and got[0] != 2
+
+    def test_queueing_when_cluster_full(self, cluster, scheduler):
+        grants = []
+
+        def holder(hold):
+            grant = yield scheduler.acquire()
+            grants.append(grant)
+            yield cluster.sim.timeout(hold)
+            grant.release()
+
+        for _ in range(6):  # exactly fills 3 nodes x 2 slots
+            cluster.sim.process(holder(10.0))
+        got = []
+
+        def late_task():
+            yield cluster.sim.timeout(1)
+            grant = yield scheduler.acquire()
+            got.append(cluster.sim.now)
+            grant.release()
+
+        cluster.sim.process(late_task())
+        cluster.sim.run()
+        # Had to wait for the first releases at t=10.
+        assert got == [10.0]
+
+    def test_fifo_across_waiters(self, cluster, scheduler):
+        order = []
+
+        def holder():
+            grant = yield scheduler.acquire()
+            yield cluster.sim.timeout(5)
+            grant.release()
+
+        for _ in range(6):
+            cluster.sim.process(holder())
+
+        def waiter(i):
+            yield cluster.sim.timeout(0.1 * (i + 1))
+            grant = yield scheduler.acquire()
+            order.append(i)
+            grant.release()
+
+        for i in range(4):
+            cluster.sim.process(waiter(i))
+        cluster.sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_double_release_rejected(self, cluster, scheduler):
+        grants = []
+
+        def task():
+            grant = yield scheduler.acquire()
+            grants.append(grant)
+            grant.release()
+
+        cluster.sim.process(task())
+        cluster.sim.run()
+        with pytest.raises(RuntimeError):
+            grants[0].release()
+
+    def test_dead_node_not_granted(self, cluster, scheduler):
+        cluster.node(1).fail()
+        nodes = []
+
+        def task():
+            grant = yield scheduler.acquire(preferred_nodes=[1])
+            nodes.append(grant.node_id)
+            grant.release()
+
+        for _ in range(4):
+            cluster.sim.process(task())
+        cluster.sim.run()
+        assert nodes and all(n != 1 for n in nodes)
+
+    def test_total_free_slots(self, cluster, scheduler):
+        assert scheduler.total_free_slots == 6
+        scheduler.acquire()
+        cluster.sim.run()
+        assert scheduler.total_free_slots == 5
+
+
+class TestJobRegistry:
+    def test_active_jobs_lifecycle(self, scheduler):
+        scheduler.job_started("a")
+        scheduler.job_started("b")
+        assert set(scheduler.active_job_ids()) == {"a", "b"}
+        scheduler.job_finished("a")
+        assert scheduler.active_job_ids() == ["b"]
+
+    def test_refcounted_starts(self, scheduler):
+        scheduler.job_started("a")
+        scheduler.job_started("a")
+        scheduler.job_finished("a")
+        assert scheduler.active_job_ids() == ["a"]
+        scheduler.job_finished("a")
+        assert scheduler.active_job_ids() == []

@@ -1,0 +1,134 @@
+"""Tests for the EWMA migration-time estimator (§IV-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MigrationTimeEstimator
+from repro.units import MB
+
+BLOCK = 256 * MB
+
+
+class TestBasics:
+    def test_initial_estimate_from_prior_rate(self):
+        est = MigrationTimeEstimator(initial_rate=128 * MB)
+        assert est.estimate(256 * MB) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationTimeEstimator(initial_rate=0)
+        with pytest.raises(ValueError):
+            MigrationTimeEstimator(initial_rate=1.0, alpha=0)
+        with pytest.raises(ValueError):
+            MigrationTimeEstimator(initial_rate=1.0, alpha=1.5)
+        est = MigrationTimeEstimator(initial_rate=1.0)
+        with pytest.raises(ValueError):
+            est.observe(0, 1)
+        with pytest.raises(ValueError):
+            est.observe(1, 0)
+        with pytest.raises(ValueError):
+            est.refresh(-1, 1)
+        with pytest.raises(ValueError):
+            est.estimate(-1)
+
+    def test_observe_moves_toward_sample(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=0.5)
+        # prior: 1s per block; observe 3s per block.
+        est.observe(3.0, BLOCK)
+        assert est.estimate(BLOCK) == pytest.approx(2.0)
+        assert est.observations == 1
+
+    def test_ewma_weights_recent_more(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=0.5)
+        for d in (1.0, 1.0, 1.0, 10.0):
+            est.observe(d, BLOCK)
+        # Last sample dominates: estimate must be well above 1s.
+        assert est.estimate(BLOCK) > 5.0
+
+    def test_converges_to_steady_state(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=0.4)
+        for _ in range(50):
+            est.observe(4.0, BLOCK)
+        assert est.estimate(BLOCK) == pytest.approx(4.0, rel=1e-6)
+
+    def test_scales_by_block_size(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=0.5)
+        est.observe(2.0, BLOCK)
+        assert est.estimate(BLOCK / 2) == pytest.approx(est.estimate(BLOCK) / 2)
+
+
+class TestInProgressRefresh:
+    def test_refresh_noop_when_on_schedule(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK)  # 1s/block
+        assert est.refresh(elapsed=0.5, nbytes=BLOCK) is False
+        assert est.estimate(BLOCK) == pytest.approx(1.0)
+        assert est.refreshes == 0
+
+    def test_refresh_raises_estimate_when_overrunning(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=0.5)
+        assert est.refresh(elapsed=5.0, nbytes=BLOCK) is True
+        assert est.estimate(BLOCK) == pytest.approx(3.0)
+        assert est.refreshes == 1
+
+    def test_repeated_refreshes_track_growing_elapsed(self):
+        """The paper's fix for slow reaction: refresh every heartbeat
+        while the active migration overruns."""
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=0.5)
+        for elapsed in (2.0, 4.0, 8.0, 16.0):
+            est.refresh(elapsed=elapsed, nbytes=BLOCK)
+        # Without refresh the estimate would still be 1s.
+        assert est.estimate(BLOCK) > 8.0
+
+    def test_refresh_never_lowers_estimate(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=0.5)
+        est.observe(10.0, BLOCK)
+        before = est.estimate(BLOCK)
+        est.refresh(elapsed=1.0, nbytes=BLOCK)  # running *faster* than est
+        assert est.estimate(BLOCK) == before
+
+
+class TestHistory:
+    def test_history_records_when_timestamped(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK)
+        est.observe(2.0, BLOCK, now=5.0)
+        est.refresh(elapsed=50.0, nbytes=BLOCK, now=8.0)
+        assert [t for t, _ in est.history] == [5.0, 8.0]
+        spbs = [s for _, s in est.history]
+        assert spbs[1] > spbs[0]
+
+    def test_history_empty_without_timestamps(self):
+        est = MigrationTimeEstimator(initial_rate=BLOCK)
+        est.observe(2.0, BLOCK)
+        assert est.history == []
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=30
+        ),
+        alpha=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_estimate_stays_within_sample_envelope(self, durations, alpha):
+        """Property: the EWMA stays between the min and max of
+        {prior, samples} -- it never overshoots."""
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=alpha)
+        lo = min([1.0] + durations)
+        hi = max([1.0] + durations)
+        for d in durations:
+            est.observe(d, BLOCK)
+        assert lo - 1e-9 <= est.estimate(BLOCK) <= hi + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        elapsed=st.floats(min_value=0.0, max_value=1000.0),
+        alpha=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_refresh_monotone(self, elapsed, alpha):
+        """Property: refresh can only increase (or keep) the estimate."""
+        est = MigrationTimeEstimator(initial_rate=BLOCK, alpha=alpha)
+        before = est.estimate(BLOCK)
+        est.refresh(elapsed=elapsed, nbytes=BLOCK)
+        assert est.estimate(BLOCK) >= before - 1e-12

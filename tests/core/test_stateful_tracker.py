@@ -1,0 +1,105 @@
+"""Model-based (stateful) tests for the reference tracker.
+
+Hypothesis drives random sequences of add/read/evict/sweep operations
+against :class:`ReferenceTracker` and checks it against a trivially
+correct model (a dict of sets) plus the eviction-callback contract.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import ReferenceTracker
+
+BLOCKS = st.integers(min_value=0, max_value=9)
+JOBS = st.sampled_from([f"job{i}" for i in range(6)])
+
+
+class TrackerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.evicted: list[int] = []
+        self.tracker = ReferenceTracker(on_block_unreferenced=self.evicted.append)
+        # Reference model.
+        self.model: dict[int, set[str]] = {}
+        self.model_implicit: set[str] = set()
+        self.ever_referenced: set[int] = set()
+
+    def _model_drop(self, block: int, job: str) -> None:
+        jobs = self.model.get(block)
+        if jobs and job in jobs:
+            jobs.discard(job)
+            if not jobs:
+                del self.model[block]
+
+    @rule(block=BLOCKS, job=JOBS, implicit=st.booleans())
+    def add(self, block, job, implicit):
+        # Mirror the real system: a job's eviction mode is fixed at its
+        # first migrate call; reuse the recorded mode afterwards.
+        if job in self.model_implicit:
+            implicit = True
+        elif any(job in jobs for jobs in self.model.values()):
+            implicit = False
+        self.tracker.add_reference(block, job, implicit=implicit)
+        self.model.setdefault(block, set()).add(job)
+        if implicit:
+            self.model_implicit.add(job)
+        self.ever_referenced.add(block)
+
+    @rule(block=BLOCKS, job=JOBS)
+    def read(self, block, job):
+        self.tracker.on_read(block, job)
+        if job in self.model_implicit:
+            self._model_drop(block, job)
+            if not any(job in jobs for jobs in self.model.values()):
+                self.model_implicit.discard(job)
+
+    @rule(job=JOBS)
+    def finish_job(self, job):
+        self.tracker.remove_job(job)
+        for block in list(self.model):
+            self._model_drop(block, job)
+        self.model_implicit.discard(job)
+
+    @rule(active=st.lists(JOBS, max_size=3))
+    def sweep(self, active):
+        self.tracker.sweep_inactive(active)
+        active_set = set(active)
+        for job in {j for jobs in self.model.values() for j in jobs} - active_set:
+            for block in list(self.model):
+                self._model_drop(block, job)
+            self.model_implicit.discard(job)
+
+    @invariant()
+    def matches_model(self):
+        for block in range(10):
+            assert self.tracker.jobs_of(block) == frozenset(
+                self.model.get(block, set())
+            )
+        assert self.tracker.tracked_jobs() == frozenset(
+            {j for jobs in self.model.values() for j in jobs}
+        )
+
+    @invariant()
+    def eviction_callback_contract(self):
+        """A block appears in the eviction log iff it was referenced at
+        some point and is unreferenced now -- and never twice in a row
+        without an intervening re-reference."""
+        for block in self.evicted:
+            assert block in self.ever_referenced
+        # Currently-referenced blocks cannot be the latest eviction for
+        # themselves without having been re-added (which re-marks
+        # ever_referenced); spot-check no referenced block was just
+        # evicted in the final position.
+        if self.evicted:
+            last = self.evicted[-1]
+            # It may have been re-added afterwards; only assert when
+            # the model agrees it is gone.
+            if last not in self.model:
+                assert not self.tracker.is_referenced(last)
+
+
+TestTrackerStateful = TrackerMachine.TestCase
+TestTrackerStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,180 @@
+"""Tests for Algorithm 1 (greedy min-finish-time targeting)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MigrationRecord, SlaveLoad, compute_targets
+from repro.dfs import Block
+from repro.units import MB
+
+BLOCK = 256 * MB
+
+
+def record(block_id, replicas, size=BLOCK, requested_at=0.0):
+    return MigrationRecord(
+        block=Block(block_id, "f", block_id, size=size, replica_nodes=tuple(replicas)),
+        requested_at=requested_at,
+    )
+
+
+def load(seconds_per_block, queued=0):
+    return SlaveLoad(
+        seconds_per_byte=seconds_per_block / BLOCK, queued_blocks=queued
+    )
+
+
+class TestSlaveLoad:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlaveLoad(seconds_per_byte=0, queued_blocks=0)
+        with pytest.raises(ValueError):
+            SlaveLoad(seconds_per_byte=1.0, queued_blocks=-1)
+
+
+class TestComputeTargets:
+    def test_prefers_faster_node(self):
+        pending = [record(0, (0, 1))]
+        targets = compute_targets(
+            pending, {0: load(10.0), 1: load(1.0)}, reference_block_size=BLOCK
+        )
+        assert targets == {0: 1}
+        assert pending[0].target_node == 1
+
+    def test_backlog_counts_against_fast_node(self):
+        """A fast node with deep queue loses to an idle medium node."""
+        pending = [record(0, (0, 1))]
+        targets = compute_targets(
+            pending,
+            {0: load(1.0, queued=9), 1: load(3.0, queued=0)},
+            reference_block_size=BLOCK,
+        )
+        # finishTime: node0 = 1*(9+1)=10, node1 = 3*(0+1)=3.
+        assert targets == {0: 1}
+
+    def test_greedy_accumulation_spreads_load(self):
+        """Assigning each block raises that node's finish time, so a
+        long run of same-replica blocks alternates proportionally."""
+        pending = [record(i, (0, 1)) for i in range(6)]
+        targets = compute_targets(
+            pending,
+            {0: load(1.0), 1: load(2.0)},
+            reference_block_size=BLOCK,
+        )
+        counts = {0: 0, 1: 0}
+        for node in targets.values():
+            counts[node] += 1
+        # Node 0 is twice as fast: expect roughly a 2:1 split.
+        assert counts[0] == 4 and counts[1] == 2
+
+    def test_replica_constraint_respected(self):
+        pending = [record(0, (2,)), record(1, (0, 2))]
+        targets = compute_targets(
+            pending,
+            {0: load(100.0), 2: load(1.0)},
+            reference_block_size=BLOCK,
+        )
+        assert targets[0] == 2
+        assert targets[1] == 2  # node0 est is terrible
+
+    def test_unavailable_nodes_skipped(self):
+        """Replicas on nodes absent from loads are not targets."""
+        pending = [record(0, (0, 1))]
+        targets = compute_targets(
+            pending, {1: load(5.0)}, reference_block_size=BLOCK
+        )
+        assert targets == {0: 1}
+
+    def test_block_with_no_eligible_replica_left_untargeted(self):
+        pending = [record(0, (3, 4))]
+        targets = compute_targets(
+            pending, {0: load(1.0)}, reference_block_size=BLOCK
+        )
+        assert targets == {}
+        assert pending[0].target_node is None
+
+    def test_retarget_overwrites_previous_choice(self):
+        pending = [record(0, (0, 1))]
+        compute_targets(
+            pending, {0: load(1.0), 1: load(9.0)}, reference_block_size=BLOCK
+        )
+        assert pending[0].target_node == 0
+        # Node 0 slowed down drastically; next pass moves the target.
+        compute_targets(
+            pending, {0: load(50.0), 1: load(9.0)}, reference_block_size=BLOCK
+        )
+        assert pending[0].target_node == 1
+
+    def test_ties_broken_by_node_id(self):
+        pending = [record(0, (2, 1))]
+        targets = compute_targets(
+            pending, {1: load(1.0), 2: load(1.0)}, reference_block_size=BLOCK
+        )
+        assert targets == {0: 1}
+
+    def test_short_tail_block_adds_proportionally(self):
+        """A short block adds less to its target's finish time."""
+        pending = [record(0, (0,), size=BLOCK / 4), record(1, (0, 1))]
+        targets = compute_targets(
+            pending,
+            {0: load(1.0), 1: load(1.2)},
+            reference_block_size=BLOCK,
+        )
+        # After the tail block, node0's finish is 1 + 0.25 = 1.25,
+        # barely above node1's 1.2, so block 1 goes to node1.
+        assert targets[1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_targets([], {}, reference_block_size=0)
+
+    def test_empty_pending_is_fine(self):
+        assert compute_targets([], {0: load(1.0)}, reference_block_size=BLOCK) == {}
+
+
+class TestTargetingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=0.5, max_value=20.0), min_size=2, max_size=6
+        ),
+        n_blocks=st.integers(min_value=1, max_value=60),
+    )
+    def test_makespan_near_optimal_for_full_replication(self, speeds, n_blocks):
+        """Property: with every block on every node (full replication),
+        the greedy pass's implied makespan is within one block of the
+        LPT-style bound: no node finishes more than one block-time
+        after another could have started it."""
+        loads = {i: load(s) for i, s in enumerate(speeds)}
+        pending = [record(i, tuple(range(len(speeds)))) for i in range(n_blocks)]
+        targets = compute_targets(pending, loads, reference_block_size=BLOCK)
+        assert len(targets) == n_blocks
+        finish = {i: load_.seconds_per_byte * BLOCK for i, load_ in loads.items()}
+        for b, node in targets.items():
+            finish[node] += loads[node].seconds_per_byte * BLOCK
+        makespan = max(finish.values())
+        # Any node could still absorb one more block and not exceed the
+        # makespan by more than its own block time -- greedy invariant.
+        for i, l in loads.items():
+            assert finish[i] <= makespan + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_all_targets_are_replica_nodes(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n_nodes = 5
+        loads = {
+            i: load(float(rng.uniform(0.5, 10.0))) for i in range(n_nodes)
+        }
+        pending = []
+        for i in range(30):
+            replicas = tuple(
+                int(x) for x in rng.choice(n_nodes, size=3, replace=False)
+            )
+            pending.append(record(i, replicas))
+        targets = compute_targets(pending, loads, reference_block_size=BLOCK)
+        by_id = {r.block_id: r for r in pending}
+        for block_id, node in targets.items():
+            assert node in by_id[block_id].block.replica_nodes

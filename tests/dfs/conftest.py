@@ -1,0 +1,27 @@
+"""Shared fixtures for DFS-layer tests."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.dfs import DFSClient, NameNode, RoundRobinPlacement
+from repro.units import MB
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec(n_workers=4, seed=7))
+
+
+@pytest.fixture
+def namenode(cluster):
+    return NameNode(
+        cluster,
+        placement=RoundRobinPlacement(len(cluster.nodes)),
+        block_size=64 * MB,
+        replication=3,
+    )
+
+
+@pytest.fixture
+def client(namenode):
+    return DFSClient(namenode)

@@ -1,0 +1,140 @@
+"""Tests for blocks, the namespace, and placement policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfs import Block, Namespace, RandomPlacement, RoundRobinPlacement
+from repro.units import MB
+
+
+class TestBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block(0, "f", 0, size=0)
+        with pytest.raises(ValueError):
+            Block(0, "f", -1, size=1)
+        with pytest.raises(ValueError):
+            Block(0, "f", 0, size=1, replica_nodes=(1, 1))
+
+    def test_equality_is_by_id(self):
+        a = Block(5, "f", 0, size=1.0)
+        b = Block(5, "g", 3, size=2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_get_replica_locations(self):
+        b = Block(0, "f", 0, size=1.0, replica_nodes=(2, 0, 1))
+        assert b.get_replica_locations() == (2, 0, 1)
+
+
+class TestNamespace:
+    def test_split_exact_multiple(self):
+        ns = Namespace(block_size=64 * MB)
+        assert ns.split_into_block_sizes(128 * MB) == [64 * MB, 64 * MB]
+
+    def test_split_with_tail(self):
+        ns = Namespace(block_size=64 * MB)
+        sizes = ns.split_into_block_sizes(100 * MB)
+        assert sizes == [64 * MB, 36 * MB]
+
+    def test_split_small_file(self):
+        ns = Namespace(block_size=64 * MB)
+        assert ns.split_into_block_sizes(MB) == [MB]
+
+    def test_add_file_and_lookup(self):
+        ns = Namespace(block_size=64 * MB)
+        entry = ns.add_file("f", 128 * MB, [(0, 1), (1, 2)])
+        assert "f" in ns
+        assert ns.file("f") is entry
+        assert [b.replica_nodes for b in entry.blocks] == [(0, 1), (1, 2)]
+        assert ns.block(entry.blocks[0].block_id) is entry.blocks[0]
+
+    def test_add_file_wrong_replica_count(self):
+        ns = Namespace(block_size=64 * MB)
+        with pytest.raises(ValueError):
+            ns.add_file("f", 128 * MB, [(0, 1)])
+
+    def test_duplicate_file_rejected(self):
+        ns = Namespace(block_size=64 * MB)
+        ns.add_file("f", MB, [(0,)])
+        with pytest.raises(FileExistsError):
+            ns.add_file("f", MB, [(0,)])
+
+    def test_missing_file_raises(self):
+        ns = Namespace()
+        with pytest.raises(FileNotFoundError):
+            ns.file("ghost")
+
+    def test_blocks_of_preserves_order(self):
+        ns = Namespace(block_size=64 * MB)
+        ns.add_file("a", 128 * MB, [(0,), (1,)])
+        ns.add_file("b", 64 * MB, [(2,)])
+        blocks = ns.blocks_of(["a", "b"])
+        assert [(b.file, b.index) for b in blocks] == [("a", 0), ("a", 1), ("b", 0)]
+
+    def test_remove_file(self):
+        ns = Namespace(block_size=64 * MB)
+        entry = ns.add_file("f", 64 * MB, [(0,)])
+        block_id = entry.blocks[0].block_id
+        ns.remove_file("f")
+        assert "f" not in ns
+        with pytest.raises(KeyError):
+            ns.block(block_id)
+
+    def test_total_bytes(self):
+        ns = Namespace(block_size=64 * MB)
+        ns.add_file("a", 64 * MB, [(0,)])
+        ns.add_file("b", 32 * MB, [(1,)])
+        assert ns.total_bytes == 96 * MB
+
+    @settings(max_examples=50, deadline=None)
+    @given(size=st.floats(min_value=1.0, max_value=1e12))
+    def test_split_conserves_bytes(self, size):
+        """Property: block sizes always sum to the file size and all
+        but the last equal the block size."""
+        ns = Namespace(block_size=64 * MB)
+        sizes = ns.split_into_block_sizes(size)
+        assert sum(sizes) == pytest.approx(size, rel=1e-12)
+        assert all(s == 64 * MB for s in sizes[:-1])
+        assert 0 < sizes[-1] <= 64 * MB
+
+
+class TestPlacement:
+    def test_round_robin_even_spread(self):
+        policy = RoundRobinPlacement(4)
+        sets = policy.place(8, replication=2)
+        primaries = [s[0] for s in sets]
+        assert primaries == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert all(len(set(s)) == 2 for s in sets)
+
+    def test_round_robin_cursor_persists_across_files(self):
+        policy = RoundRobinPlacement(4)
+        first = policy.place(3, replication=1)
+        second = policy.place(2, replication=1)
+        assert [s[0] for s in first + second] == [0, 1, 2, 3, 0]
+
+    def test_random_distinct_replicas(self):
+        rng = np.random.default_rng(0)
+        policy = RandomPlacement(5, rng)
+        sets = policy.place(50, replication=3)
+        assert all(len(set(s)) == 3 for s in sets)
+        assert all(all(0 <= n < 5 for n in s) for s in sets)
+
+    def test_random_is_seed_deterministic(self):
+        a = RandomPlacement(5, np.random.default_rng(3)).place(10, 3)
+        b = RandomPlacement(5, np.random.default_rng(3)).place(10, 3)
+        assert a == b
+
+    def test_replication_larger_than_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(2).place(1, replication=3)
+        with pytest.raises(ValueError):
+            RandomPlacement(2, np.random.default_rng(0)).place(1, replication=3)
+
+    def test_random_covers_all_nodes_eventually(self):
+        rng = np.random.default_rng(1)
+        sets = RandomPlacement(4, rng).place(100, 2)
+        covered = {n for s in sets for n in s}
+        assert covered == {0, 1, 2, 3}

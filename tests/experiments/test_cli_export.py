@@ -1,0 +1,74 @@
+"""Tests for the CLI and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments import cli, motivation, sort_reads, tracking
+from repro.experiments.export import EXPORTERS, export_result
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in cli.EXPERIMENTS:
+            assert name in out
+
+    def test_run_single_experiment(self, capsys):
+        assert cli.main(["micro"]) == 0
+        out = capsys.readouterr().out
+        assert "RAM over disk" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["definitely-not-an-experiment"])
+
+    def test_seed_flag(self, capsys):
+        assert cli.main(["motivation", "--seed", "3"]) == 0
+        assert "Fig 2" in capsys.readouterr().out
+
+    def test_csv_flag_writes_files(self, tmp_path, capsys):
+        assert cli.main(["sort-reads", "--csv", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.csv"))
+        assert files
+
+
+class TestExport:
+    def test_every_exporter_has_a_cli_experiment(self):
+        assert set(EXPORTERS) <= set(cli.EXPERIMENTS)
+
+    def test_motivation_export(self, tmp_path):
+        result = motivation.run(seed=0, n_jobs=2000, n_servers_for_mean=100)
+        paths = export_result("motivation", result, tmp_path)
+        assert len(paths) == 3
+        with open(tmp_path / "fig3_utilization_cdf.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["utilization", "cumulative_fraction"]
+        assert len(rows) > 10
+        fractions = [float(r[1]) for r in rows[1:]]
+        assert fractions == sorted(fractions)
+
+    def test_tracking_export(self, tmp_path):
+        result = tracking.run(patterns=("alt-10s-1",), seed=0)
+        paths = export_result("tracking", result, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {
+            "table2_interference_runtimes.csv",
+            "fig9_estimator_series.csv",
+        }
+        with open(tmp_path / "fig9_estimator_series.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) > 5
+
+    def test_sort_reads_export_counts(self, tmp_path):
+        result = sort_reads.run(seed=0, cases=("none",))
+        export_result("sort-reads", result, tmp_path)
+        with open(tmp_path / "fig8_read_distribution.csv") as handle:
+            rows = list(csv.reader(handle))[1:]
+        total = sum(int(r[3]) for r in rows)
+        assert total == sum(sum(v) for v in result.reads.values())
+
+    def test_unknown_export_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_result("micro", None, tmp_path)

@@ -1,0 +1,56 @@
+"""Determinism: the library's core reproducibility guarantee.
+
+Every experiment claims bit-for-bit reproducibility under a seed; these
+tests run full workloads twice and require *identical* results -- not
+approximately equal, identical.
+"""
+
+from repro.experiments import swim, tracking
+from repro.experiments.common import PaperSetup, build_system
+from repro.units import GB
+from repro.workloads.sort import sort_job
+
+
+class TestDeterminism:
+    def test_swim_run_is_bit_identical(self):
+        a = swim.run(schemes=("hdfs", "dyrs"), n_jobs=60, seed=5)
+        b = swim.run(schemes=("hdfs", "dyrs"), n_jobs=60, seed=5)
+        assert a.durations == b.durations
+        assert a.map_durations == b.map_durations
+        assert a.migrated_bytes == b.migrated_bytes
+
+    def test_different_seed_differs(self):
+        a = swim.run(schemes=("hdfs", "dyrs"), n_jobs=40, seed=1)
+        b = swim.run(schemes=("hdfs", "dyrs"), n_jobs=40, seed=2)
+        assert a.durations != b.durations
+
+    def test_full_system_trace_identical(self):
+        """Beyond aggregate durations: the entire migration record log
+        (timestamps, bindings, statuses) must replay identically."""
+        def run():
+            system = build_system(
+                PaperSetup(scheme="dyrs", seed=11, interference="alt-10s-1")
+            )
+            job = sort_job(system, size=6 * GB, job_id="s", extra_lead_time=20.0)
+            system.runtime.run_to_completion([job])
+            return [
+                (
+                    r.block_id,
+                    r.status.name,
+                    r.target_node,
+                    r.bound_node,
+                    r.requested_at,
+                    r.bound_at,
+                    r.started_at,
+                    r.completed_at,
+                )
+                for r in system.master.record_log
+            ]
+
+        assert run() == run()
+
+    def test_estimator_histories_identical(self):
+        a = tracking.run(patterns=("alt-20s-1",), seed=3)
+        b = tracking.run(patterns=("alt-20s-1",), seed=3)
+        assert a.runtimes == b.runtimes
+        assert a.estimate_histories == b.estimate_histories

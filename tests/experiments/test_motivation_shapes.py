@@ -1,0 +1,57 @@
+"""Shape tests for the §II motivation analyses (Figs 1-3)."""
+
+import pytest
+
+from repro.experiments import motivation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return motivation.run(seed=0)
+
+
+class TestFig1:
+    def test_three_representative_nodes(self, result):
+        assert result.fig1_series.shape[0] == 3
+        # 24h at 5-minute bins.
+        assert result.fig1_series.shape[1] == 288
+
+    def test_busy_node_dwarfs_idle_node(self, result):
+        """The paper's picks differ by 5-13x in mean utilization."""
+        busy, _, idle = result.fig1_node_means
+        assert busy / max(idle, 1e-9) > 5
+
+    def test_temporal_variation_visible(self, result):
+        busy = result.fig1_series[0]
+        assert busy.max() > 2 * busy.mean()
+
+
+class TestFig2:
+    def test_81pct_have_sufficient_lead_time(self, result):
+        assert result.fig2_fraction_sufficient == pytest.approx(0.81, abs=0.03)
+
+    def test_mean_lead_time_8_8s(self, result):
+        assert result.mean_lead_time == pytest.approx(8.8, abs=1.0)
+
+    def test_pdf_is_a_density(self, result):
+        assert all(d >= 0 for _, d in result.fig2_pdf)
+        assert any(d > 0 for _, d in result.fig2_pdf)
+
+
+class TestFig3:
+    def test_mean_utilization_near_3_1pct(self, result):
+        assert result.fig3_mean_utilization == pytest.approx(0.031, abs=0.012)
+
+    def test_80pct_below_4pct(self, result):
+        assert result.fig3_fraction_below_4pct == pytest.approx(0.80, abs=0.06)
+
+    def test_cdf_monotone(self, result):
+        fracs = [f for _, f in result.fig3_cdf_points]
+        assert fracs == sorted(fracs)
+
+
+class TestReport:
+    def test_report_mentions_headlines(self, result):
+        text = motivation.report(result)
+        assert "Fig 1" in text and "Fig 2" in text and "Fig 3" in text
+        assert "81%" in text and "3.1%" in text

@@ -1,0 +1,61 @@
+"""Tests for seeded random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(7).stream("x").random(5)
+        b = RngRegistry(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = RngRegistry(7).stream("x").random(5)
+        b = RngRegistry(8).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(7)
+        a = reg.stream("a").random(5)
+        b = reg.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_identity_is_cached(self):
+        reg = RngRegistry(0)
+        assert reg.stream("s") is reg.stream("s")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        reg1 = RngRegistry(3)
+        _ = reg1.stream("first").random(10)
+        after1 = reg1.stream("first").random(3)
+
+        reg2 = RngRegistry(3)
+        _ = reg2.stream("first").random(10)
+        _ = reg2.stream("unrelated-new-stream").random(100)
+        after2 = reg2.stream("first").random(3)
+        assert np.array_equal(after1, after2)
+
+    def test_spawn_prefixes(self):
+        reg = RngRegistry(11)
+        child = reg.spawn("swim")
+        a = child.stream("sizes").random(4)
+        b = RngRegistry(11).stream("swim.sizes").random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_shares_state(self):
+        reg = RngRegistry(11)
+        child = reg.spawn("ns")
+        assert child.stream("s") is reg.stream("ns.s")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(-1)
+
+    def test_names_listing(self):
+        reg = RngRegistry(0)
+        reg.stream("one")
+        reg.stream("two")
+        assert reg.names() == ("one", "two")

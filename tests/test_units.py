@@ -1,0 +1,63 @@
+"""Tests for unit constants and formatting helpers."""
+
+import pytest
+
+from repro.units import (
+    DAY,
+    GB,
+    HOUR,
+    KB,
+    MB,
+    MINUTE,
+    TB,
+    Gbps,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+
+
+class TestConstants:
+    def test_byte_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_gbps_is_bytes_per_second(self):
+        assert 10 * Gbps == pytest.approx(1.25e9)
+
+    def test_time_ladder(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (512, "512.0B"),
+            (2 * KB, "2.0KiB"),
+            (256 * MB, "256.0MiB"),
+            (1.5 * GB, "1.5GiB"),
+            (2 * TB, "2.0TiB"),
+        ],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+    def test_fmt_rate(self):
+        assert fmt_rate(150 * MB) == "150.0MiB/s"
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (12.34, "12.3s"),
+            (90, "90.0s"),
+            (600, "10.0min"),
+            (1.5 * HOUR, "90.0min"),
+            (10 * HOUR, "10.0h"),
+        ],
+    )
+    def test_fmt_time(self, seconds, expected):
+        assert fmt_time(seconds) == expected

@@ -1,0 +1,87 @@
+"""Calibration tests: the synthetic Google trace must reproduce the
+paper's published aggregates (within tolerance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.google_trace import (
+    GoogleTraceModel,
+    generate_job_records,
+    generate_node_utilization,
+)
+
+
+class TestUtilizationCalibration:
+    @pytest.fixture(scope="class")
+    def big_sample(self):
+        rng = np.random.default_rng(7)
+        return generate_node_utilization(500, rng)
+
+    def test_mean_near_paper_3_1_pct(self, big_sample):
+        assert 0.02 <= big_sample.mean() <= 0.045
+
+    def test_fraction_below_4pct_near_80(self, big_sample):
+        frac = (big_sample < 0.04).mean()
+        assert 0.72 <= frac <= 0.88
+
+    def test_heterogeneity_across_nodes(self, big_sample):
+        """Fig 1: busy nodes can run an order of magnitude above idle."""
+        means = big_sample.mean(axis=1)
+        assert means.max() / means.min() > 10
+
+    def test_heterogeneity_across_time(self, big_sample):
+        """Each node's series varies substantially over the day."""
+        per_node_cv = big_sample.std(axis=1) / big_sample.mean(axis=1)
+        assert np.median(per_node_cv) > 0.5
+
+    def test_values_are_valid_utilizations(self, big_sample):
+        assert (big_sample >= 0).all() and (big_sample <= 1).all()
+
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        u = generate_node_utilization(3, rng, duration=3600.0, bin_width=300.0)
+        assert u.shape == (3, 12)
+
+    def test_deterministic_under_seed(self):
+        a = generate_node_utilization(5, np.random.default_rng(3))
+        b = generate_node_utilization(5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_node_utilization(0, rng)
+        with pytest.raises(ValueError):
+            generate_node_utilization(1, rng, duration=1.0, bin_width=300.0)
+
+
+class TestJobRecordCalibration:
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        return generate_job_records(30_000, np.random.default_rng(2))
+
+    def test_mean_lead_time_near_8_8s(self, jobs):
+        mean_lead = np.mean([j.lead_time for j in jobs])
+        assert 7.5 <= mean_lead <= 10.5
+
+    def test_fraction_sufficient_near_81pct(self, jobs):
+        frac = np.mean([j.lead_read_ratio >= 1 for j in jobs])
+        assert 0.77 <= frac <= 0.85
+
+    def test_positive_times(self, jobs):
+        assert all(j.lead_time > 0 and j.read_time > 0 for j in jobs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_job_records(0, np.random.default_rng(0))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_calibration_robust_across_seeds(self, seed):
+        """Property: the 81% sufficiency holds for any seed, not just
+        the default one."""
+        jobs = generate_job_records(5000, np.random.default_rng(seed))
+        frac = np.mean([j.lead_read_ratio >= 1 for j in jobs])
+        assert 0.72 <= frac <= 0.90

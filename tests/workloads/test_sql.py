@@ -1,0 +1,118 @@
+"""Tests for the mini query planner."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.compute import TaskKind
+from repro.system import System, SystemConfig
+from repro.units import GB, MB
+from repro.workloads.sql import Aggregate, Join, Scan, compile_query
+
+
+@pytest.fixture
+def system():
+    s = System(
+        SystemConfig(
+            scheme="dyrs",
+            cluster=ClusterSpec(n_workers=4, seed=3),
+            block_size=64 * MB,
+        )
+    ).start()
+    s.load_input("store_sales", 1 * GB)
+    s.load_input("date_dim", 128 * MB)
+    return s
+
+
+class TestPlanValidation:
+    def test_scan_selectivity(self):
+        with pytest.raises(ValueError):
+            Scan("t", selectivity=0)
+        with pytest.raises(ValueError):
+            Scan("t", selectivity=1.5)
+
+    def test_operator_ratios(self):
+        with pytest.raises(ValueError):
+            Join(Scan("a"), Scan("b"), output_ratio=0)
+        with pytest.raises(ValueError):
+            Aggregate(Scan("a"), output_ratio=2.0)
+
+    def test_missing_table_rejected(self, system):
+        with pytest.raises(FileNotFoundError):
+            compile_query(Scan("ghost"), system, job_id="q")
+
+
+class TestCompilation:
+    def test_bare_scan_compiles_to_map_stage(self, system):
+        job = compile_query(Scan("store_sales", selectivity=0.1), system, "q0")
+        assert len(job.stages) == 1
+        assert all(t.kind is TaskKind.MAP for t in job.stages[0].tasks)
+        assert job.input_files == ("store_sales",)
+        n_blocks = len(system.client.blocks_of(["store_sales"]))
+        assert len(job.stages[0].tasks) == n_blocks
+
+    def test_join_creates_dag_over_both_scans(self, system):
+        plan = Join(Scan("store_sales", 0.05), Scan("date_dim", 0.2))
+        job = compile_query(plan, system, "q1")
+        names = [s.name for s in job.stages]
+        assert len(names) == 3
+        join_stage = job.stages[-1]
+        assert set(join_stage.depends_on) == set(names[:2])
+        assert job.input_files == ("store_sales", "date_dim")
+
+    def test_data_flow_sizes(self, system):
+        plan = Aggregate(Scan("store_sales", selectivity=0.1), output_ratio=0.5)
+        job = compile_query(plan, system, "q2")
+        scan_stage, agg_stage = job.stages
+        scanned = sum(t.local_output for t in scan_stage.tasks)
+        assert scanned == pytest.approx(0.1 * GB)
+        agg_input = sum(t.intermediate_input for t in agg_stage.tasks)
+        assert agg_input == pytest.approx(scanned)
+        agg_output = sum(t.dfs_output for t in agg_stage.tasks)
+        assert agg_output == pytest.approx(scanned * 0.5)
+
+    def test_only_root_writes_to_dfs(self, system):
+        plan = Aggregate(
+            Join(Scan("store_sales", 0.05), Scan("date_dim", 0.2)),
+            output_ratio=0.1,
+        )
+        job = compile_query(plan, system, "q3")
+        stages = job.topo_stages()
+        for stage in stages[:-1]:
+            assert all(t.dfs_output == 0 for t in stage.tasks)
+        assert any(t.dfs_output > 0 for t in stages[-1].tasks)
+
+    def test_duplicate_table_listed_once(self, system):
+        plan = Join(Scan("store_sales", 0.1), Scan("store_sales", 0.2))
+        job = compile_query(plan, system, "q4")
+        assert job.input_files == ("store_sales",)
+
+    def test_compiled_query_runs_end_to_end(self, system):
+        plan = Aggregate(
+            Join(Scan("store_sales", 0.05), Scan("date_dim", 0.2),
+                 output_ratio=0.4),
+            output_ratio=0.1,
+        )
+        job = compile_query(plan, system, "q5")
+        metrics = system.runtime.run_to_completion([job])
+        jm = metrics.jobs["q5"]
+        assert jm.finished_at is not None
+        # Both tables were migrated (DYRS got the submission hook).
+        assert jm.memory_read_fraction() > 0
+
+    def test_deep_plan_topo_order(self, system):
+        plan = Aggregate(
+            Aggregate(
+                Join(
+                    Scan("store_sales", 0.1),
+                    Aggregate(Scan("date_dim", 0.5), output_ratio=0.5),
+                ),
+                output_ratio=0.3,
+            ),
+            output_ratio=0.5,
+        )
+        job = compile_query(plan, system, "q6")
+        order = [s.name for s in job.topo_stages()]
+        position = {name: i for i, name in enumerate(order)}
+        for stage in job.stages:
+            for dep in stage.depends_on:
+                assert position[dep] < position[stage.name]

@@ -1,0 +1,162 @@
+"""Tests for the SWIM, Hive, and Sort workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.compute import TaskKind
+from repro.system import System, SystemConfig
+from repro.units import GB, MB
+from repro.workloads import (
+    build_query_job,
+    generate_swim_workload,
+    hive_query_suite,
+    materialize_swim_jobs,
+    size_bin,
+    sort_job,
+)
+from repro.workloads.hive import HiveQuery
+
+
+@pytest.fixture
+def system():
+    return System(
+        SystemConfig(scheme="dyrs", cluster=ClusterSpec(n_workers=4, seed=0),
+                     block_size=64 * MB)
+    ).start()
+
+
+class TestSwimGenerator:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_swim_workload(np.random.default_rng(3))
+
+    def test_paper_published_shape(self, workload):
+        sizes = np.array([d.input_size for d in workload])
+        assert len(workload) == 200
+        assert sizes.sum() == pytest.approx(170 * GB, rel=1e-6)
+        assert sizes.max() == pytest.approx(24 * GB)
+        assert abs((sizes < 64 * MB).mean() - 0.85) < 0.02
+
+    def test_submit_times_start_at_zero_and_increase(self, workload):
+        times = [d.submit_time for d in workload]
+        assert times[0] == 0.0
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_shuffle_and_output_bounded_by_input_scale(self, workload):
+        for d in workload:
+            assert d.shuffle_size <= d.input_size
+            assert d.output_size <= max(d.shuffle_size, 0.1 * d.input_size) + 1
+
+    def test_deterministic_under_seed(self):
+        a = generate_swim_workload(np.random.default_rng(9))
+        b = generate_swim_workload(np.random.default_rng(9))
+        assert [(x.input_size, x.submit_time) for x in a] == [
+            (x.input_size, x.submit_time) for x in b
+        ]
+
+    def test_size_bins(self):
+        assert size_bin(1 * MB) == "small"
+        assert size_bin(64 * MB) == "medium"
+        assert size_bin(1 * GB) == "large"
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_swim_workload(rng, n_jobs=1)
+        with pytest.raises(ValueError):
+            generate_swim_workload(rng, small_fraction=1.0)
+        with pytest.raises(ValueError):
+            generate_swim_workload(rng, total_input=1 * GB)  # too small
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_totals_hold_for_any_seed(self, seed):
+        workload = generate_swim_workload(np.random.default_rng(seed))
+        sizes = np.array([d.input_size for d in workload])
+        assert sizes.sum() == pytest.approx(170 * GB, rel=1e-6)
+        assert (sizes > 0).all()
+
+    def test_materialize_creates_files_and_jobs(self, system):
+        descriptors = generate_swim_workload(
+            np.random.default_rng(1), n_jobs=10, total_input=5 * GB, max_input=2 * GB
+        )
+        jobs = materialize_swim_jobs(system, descriptors)
+        assert len(jobs) == 10
+        for job, d in zip(jobs, descriptors):
+            entry = system.namenode.namespace.file(f"{d.job_id}/input")
+            assert entry.size == pytest.approx(d.input_size)
+            assert job.submit_time == d.submit_time
+
+
+class TestHiveSuite:
+    def test_ten_queries_sorted_by_input(self):
+        suite = hive_query_suite()
+        assert len(suite) == 10
+        sizes = [q.input_size for q in suite]
+        assert sizes == sorted(sizes)
+
+    def test_scale_multiplies_sizes(self):
+        base = hive_query_suite()
+        scaled = hive_query_suite(scale=0.5)
+        for b, s in zip(base, scaled):
+            assert s.input_size == pytest.approx(b.input_size * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hive_query_suite(scale=0)
+        with pytest.raises(ValueError):
+            HiveQuery("q", input_size=0)
+        with pytest.raises(ValueError):
+            HiveQuery("q", input_size=1, selectivity=0)
+        with pytest.raises(ValueError):
+            HiveQuery("q", input_size=1, downstream_stages=-1)
+
+    def test_build_query_job_structure(self, system):
+        query = HiveQuery("q99", 256 * MB, selectivity=0.05, downstream_stages=2)
+        job = build_query_job(query, system)
+        stages = job.topo_stages()
+        assert stages[0].name == "scan"
+        assert len(stages) == 3
+        # Scan is one mapper per block.
+        n_blocks = len(system.client.blocks_of([job.input_files[0]]))
+        assert len(stages[0].tasks) == n_blocks
+        # Scan output shrinks by selectivity.
+        total_spill = sum(t.local_output for t in stages[0].tasks)
+        assert total_spill == pytest.approx(query.input_size * 0.05)
+
+    def test_query_job_runs_to_completion(self, system):
+        query = HiveQuery("q98", 256 * MB, downstream_stages=1)
+        job = build_query_job(query, system)
+        metrics = system.runtime.run_to_completion([job])
+        assert metrics.jobs[job.job_id].finished_at is not None
+
+    def test_map_dominates_runtime(self, system):
+        """§II-A: map tasks account for ~97% of TPC-DS query time; our
+        query shapes must be scan-dominated too."""
+        query = HiveQuery("q97", 1 * GB, selectivity=0.05, downstream_stages=2)
+        job = build_query_job(query, system)
+        metrics = system.runtime.run_to_completion([job])
+        jm = metrics.jobs[job.job_id]
+        map_time = sum(jm.map_durations())
+        total_time = sum(t.duration for t in jm.tasks if t.duration)
+        assert map_time / total_time > 0.7
+
+
+class TestSortJob:
+    def test_shuffle_and_output_equal_input(self, system):
+        job = sort_job(system, size=256 * MB, job_id="s1")
+        maps = [t for s in job.stages for t in s.tasks if t.kind is TaskKind.MAP]
+        reduces = [t for s in job.stages for t in s.tasks if t.kind is TaskKind.REDUCE]
+        assert sum(m.local_output for m in maps) == pytest.approx(256 * MB)
+        assert sum(r.dfs_output for r in reduces) == pytest.approx(256 * MB)
+
+    def test_extra_lead_time_propagates(self, system):
+        job = sort_job(system, size=64 * MB, job_id="s2", extra_lead_time=33.0)
+        assert job.extra_lead_time == 33.0
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            sort_job(system, size=0)

@@ -1,0 +1,87 @@
+"""Tests for SWIM trace-file reading/writing/scaling."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.units import GB
+from repro.workloads.swim import generate_swim_workload
+from repro.workloads.swim_io import (
+    compress_interarrivals,
+    read_swim_trace,
+    scale_trace,
+    write_swim_trace,
+)
+
+SAMPLE = """\
+# SWIM FB-2009 excerpt
+job0 0.000 0.000 67108864 6710886 671088
+job1 12.500 12.500 268435456 134217728 13421772
+
+job2 14.000 1.500 1048576 0 104857
+"""
+
+
+class TestReadWrite:
+    def test_read_parses_fields(self):
+        jobs = read_swim_trace(io.StringIO(SAMPLE))
+        assert [j.job_id for j in jobs] == ["job0", "job1", "job2"]
+        assert jobs[1].submit_time == 12.5
+        assert jobs[1].input_size == 268435456
+        assert jobs[1].shuffle_size == 134217728
+        assert jobs[2].shuffle_size == 0.0
+
+    def test_comments_and_blanks_skipped(self):
+        jobs = read_swim_trace(io.StringIO(SAMPLE))
+        assert len(jobs) == 3
+
+    def test_out_of_order_lines_sorted(self):
+        scrambled = "b 5 5 10 0 1\na 1 1 10 0 1\n"
+        jobs = read_swim_trace(io.StringIO(scrambled))
+        assert [j.job_id for j in jobs] == ["a", "b"]
+
+    def test_malformed_line_rejected_with_lineno(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_swim_trace(io.StringIO("too few fields\n"))
+
+    def test_roundtrip(self):
+        original = generate_swim_workload(np.random.default_rng(4), n_jobs=30,
+                                          total_input=20 * GB, max_input=5 * GB)
+        buffer = io.StringIO()
+        write_swim_trace(original, buffer)
+        buffer.seek(0)
+        loaded = read_swim_trace(buffer)
+        assert len(loaded) == 30
+        for a, b in zip(original, loaded):
+            assert a.job_id == b.job_id
+            assert b.submit_time == pytest.approx(a.submit_time, abs=1e-3)
+            assert b.input_size == pytest.approx(a.input_size, abs=1.0)
+
+    def test_file_paths(self, tmp_path):
+        jobs = read_swim_trace(io.StringIO(SAMPLE))
+        path = tmp_path / "trace.txt"
+        write_swim_trace(jobs, path)
+        assert read_swim_trace(path) == jobs
+
+
+class TestTransforms:
+    def test_scale_trace(self):
+        jobs = read_swim_trace(io.StringIO(SAMPLE))
+        scaled = scale_trace(jobs, 0.5)
+        assert scaled[0].input_size == jobs[0].input_size / 2
+        assert scaled[0].submit_time == jobs[0].submit_time  # times untouched
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            scale_trace([], 0)
+
+    def test_compress_interarrivals_paper_75pct(self):
+        jobs = read_swim_trace(io.StringIO(SAMPLE))
+        compressed = compress_interarrivals(jobs, reduction=0.75)
+        assert compressed[1].submit_time == pytest.approx(12.5 * 0.25)
+        assert compressed[0].submit_time == 0.0
+
+    def test_compress_validation(self):
+        with pytest.raises(ValueError):
+            compress_interarrivals([], reduction=1.0)
