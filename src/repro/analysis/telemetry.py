@@ -37,6 +37,10 @@ class TelemetrySample:
     disk_bytes: tuple[float, ...]
     #: Scheduler queue length at sample time (None if not attached).
     queued_tasks: Optional[int]
+    #: Per-node SSD-cache bytes resident at sample time (all zeros on
+    #: clusters without SSDs; appended field so older call sites and
+    #: pickles stay valid).
+    ssd_used: tuple[float, ...] = ()
 
 
 class TelemetryCollector:
@@ -78,7 +82,7 @@ class TelemetryCollector:
         utils = []
         bytes_delta = []
         for i, node in enumerate(self.cluster.nodes):
-            busy = node.disk._resource.busy_time
+            busy = node.disk.busy_time
             moved = node.disk.bytes_moved
             utils.append(
                 min(1.0, max(0.0, (busy - self._last_busy[i]) / self.interval))
@@ -96,6 +100,10 @@ class TelemetryCollector:
                     self.scheduler.queued_requests
                     if self.scheduler is not None
                     else None
+                ),
+                ssd_used=tuple(
+                    (n.ssd.used if n.ssd is not None else 0.0)
+                    for n in self.cluster.nodes
                 ),
             )
         )
@@ -117,6 +125,24 @@ class TelemetryCollector:
     def memory_series(self, node_id: int) -> np.ndarray:
         """One node's migrated-memory occupancy series (Fig 7 style)."""
         return np.array([s.memory_used[node_id] for s in self.samples])
+
+    def ssd_series(self, node_id: int) -> np.ndarray:
+        """One node's SSD-cache occupancy series (tiered extension)."""
+        return np.array(
+            [
+                s.ssd_used[node_id] if s.ssd_used else 0.0
+                for s in self.samples
+            ]
+        )
+
+    def tier_occupancy_totals(self) -> dict[str, np.ndarray]:
+        """Cluster-wide resident bytes per fast tier over time."""
+        return {
+            "memory": np.array([sum(s.memory_used) for s in self.samples]),
+            "ssd": np.array(
+                [sum(s.ssd_used) if s.ssd_used else 0.0 for s in self.samples]
+            ),
+        }
 
     def utilization_matrix(self) -> np.ndarray:
         """(n_nodes, n_samples) utilization matrix."""

@@ -11,6 +11,7 @@ from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.memory import MemoryStore, MemorySpec, OutOfMemory
 from repro.cluster.network import Fabric, Nic, NicSpec
 from repro.cluster.node import Node, NodeSpec
+from repro.cluster.ssd import Ssd, SsdFull, SsdSpec
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.cluster.interference import (
     AlternatingInterference,
@@ -35,5 +36,8 @@ __all__ = [
     "NodeSpec",
     "OutOfMemory",
     "PersistentInterference",
+    "Ssd",
+    "SsdFull",
+    "SsdSpec",
     "TraceInterference",
 ]

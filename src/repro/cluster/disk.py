@@ -119,6 +119,15 @@ class Disk:
         """Total bytes transferred (reads + writes)."""
         return self._resource.bytes_moved
 
+    @property
+    def busy_time(self) -> float:
+        """Cumulative seconds the actuator spent with active flows.
+
+        Public accessor for telemetry; interval busy fractions are
+        computed from deltas of this counter.
+        """
+        return self._resource.busy_time
+
     def utilization(self, since: float = 0.0) -> float:
         """Busy fraction of wall time since ``since``."""
         return self._resource.utilization(since)

@@ -8,11 +8,12 @@ thread), and a 10 Gbps NIC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.memory import MemorySpec, MemoryStore
 from repro.cluster.network import Nic, NicSpec
+from repro.cluster.ssd import Ssd, SsdSpec
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,6 +34,9 @@ class NodeSpec:
     memory: MemorySpec = field(default_factory=MemorySpec)
     nic: NicSpec = field(default_factory=NicSpec)
     task_slots: int = 12
+    #: Optional SSD cache partition (the tiered-storage extension);
+    #: ``None`` reproduces the paper's two-level disk/RAM servers.
+    ssd: Optional[SsdSpec] = None
 
     def __post_init__(self) -> None:
         if self.task_slots < 1:
@@ -45,6 +49,10 @@ class NodeSpec:
         "handicapped" node (§V-C).
         """
         return replace(self, disk=replace(self.disk, bandwidth=bandwidth))
+
+    def with_ssd(self, ssd: Optional[SsdSpec] = None) -> "NodeSpec":
+        """A copy of this spec with an SSD cache attached."""
+        return replace(self, ssd=ssd or SsdSpec())
 
 
 class Node:
@@ -63,6 +71,9 @@ class Node:
         self.cluster = None
         self.disk = Disk(sim, spec.disk, name=f"{self.name}.disk")
         self.memory = MemoryStore(sim, spec.memory, name=f"{self.name}.mem")
+        self.ssd: Optional[Ssd] = (
+            Ssd(sim, spec.ssd, name=f"{self.name}.ssd") if spec.ssd is not None else None
+        )
         self.nic = Nic(sim, spec.nic, name=f"{self.name}.nic")
         self.slots = Resource(sim, capacity=spec.task_slots, name=f"{self.name}.slots")
         #: Set by the DFS layer when a DataNode is attached.
@@ -72,10 +83,18 @@ class Node:
         self.alive = True
 
     def fail(self) -> None:
-        """Crash the whole server: all in-memory data is lost."""
+        """Crash the whole server: all in-memory data is lost.
+
+        The SSD cache partition is cleared too -- the data physically
+        survives a power cycle, but its contents are soft state managed
+        by the (dead) slave process, so a replacement starts cold.
+        """
         self.alive = False
         for key in self.memory.pinned_keys():
             self.memory.unpin(key)
+        if self.ssd is not None:
+            for key in self.ssd.pinned_keys():
+                self.ssd.unpin(key)
 
     def recover(self) -> None:
         """Bring the server back up (with cold memory)."""

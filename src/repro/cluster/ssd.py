@@ -1,0 +1,206 @@
+"""Flash (SSD) tier device: a byte-budgeted store with real transfer cost.
+
+The paper's testbed has no flash tier -- DYRS moves data along a single
+disk->memory edge.  The tiered-storage extension (see
+:mod:`repro.tiers`) interposes an SSD between them, in the spirit of
+OctopusFS-style multi-tier management: warm data that does not justify
+RAM residency still reads several times faster than from the spinning
+disk.
+
+An :class:`Ssd` therefore combines the two halves its neighbours model
+separately:
+
+* like :class:`~repro.cluster.memory.MemoryStore` it is a byte budget
+  with ``pin``/``unpin`` residency accounting (an SSD cache partition,
+  not the boot volume);
+* like :class:`~repro.cluster.disk.Disk` it charges transfers on a
+  shared :class:`~repro.sim.bandwidth.BandwidthResource` -- flash has
+  no seek arm, so the default concurrency penalty is tiny, but the
+  controller channel is still finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.sim.bandwidth import BandwidthResource, Flow
+from repro.sim.events import Event
+from repro.units import GB, MB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Ssd", "SsdSpec", "SsdFull"]
+
+
+class SsdFull(RuntimeError):
+    """Raised when a ``pin`` would exceed the SSD cache budget."""
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """Static description of a node's SSD cache partition.
+
+    Attributes
+    ----------
+    capacity:
+        Bytes of the partition reserved for tiered block data.
+    bandwidth:
+        Shared read/write throughput of the device, bytes/second.  A
+        SATA-class drive sustains ~500 MB/s; the default sits between
+        the model's 150 MB/s disk and its memory tier.
+    seek_penalty:
+        Aggregate-efficiency loss per extra concurrent stream.  Flash
+        suffers almost none; a small nonzero default keeps unbounded
+        fan-in from being free.
+    min_efficiency:
+        Floor on aggregate throughput as a fraction of ``bandwidth``.
+    """
+
+    capacity: float = 256 * GB
+    bandwidth: float = 500 * MB
+    seek_penalty: float = 0.02
+    min_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.seek_penalty < 0:
+            raise ValueError(f"seek_penalty must be >= 0, got {self.seek_penalty}")
+        if not 0 <= self.min_efficiency <= 1:
+            raise ValueError(
+                f"min_efficiency must be in [0, 1], got {self.min_efficiency}"
+            )
+
+
+class Ssd:
+    """One SSD cache device on a node."""
+
+    def __init__(self, sim: "Simulator", spec: SsdSpec, name: str = "ssd") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._pinned: dict[Hashable, float] = {}
+        self._used = 0.0
+        self._peak = 0.0
+        #: (time, used_bytes) samples, recorded on every change.
+        self.usage_samples: list[tuple[float, float]] = [(sim.now, 0.0)]
+        self._resource = BandwidthResource(
+            sim,
+            capacity=spec.bandwidth,
+            seek_penalty=spec.seek_penalty,
+            min_efficiency=spec.min_efficiency,
+            name=name,
+        )
+
+    # -- budget ------------------------------------------------------------
+
+    @property
+    def used(self) -> float:
+        """Bytes currently pinned."""
+        return self._used
+
+    @property
+    def free(self) -> float:
+        """Bytes available before hitting the budget."""
+        return self.spec.capacity - self._used
+
+    @property
+    def peak(self) -> float:
+        """High-water mark of :attr:`used`."""
+        return self._peak
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether ``nbytes`` can currently be pinned."""
+        return nbytes <= self.free + 1e-9
+
+    # -- residency ---------------------------------------------------------
+
+    def pin(self, key: Hashable, nbytes: float) -> None:
+        """Account ``nbytes`` of resident data under ``key``.
+
+        Raises :class:`SsdFull` when the budget would be exceeded and
+        ``KeyError`` on double pins, mirroring
+        :meth:`repro.cluster.memory.MemoryStore.pin`.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative pin size: {nbytes}")
+        if key in self._pinned:
+            raise KeyError(f"{key!r} already pinned in {self.name!r}")
+        if not self.fits(nbytes):
+            raise SsdFull(
+                f"{self.name}: pin of {nbytes:.0f}B exceeds budget "
+                f"({self._used:.0f}/{self.spec.capacity:.0f}B used)"
+            )
+        self._pinned[key] = nbytes
+        self._used = sum(self._pinned.values())
+        self._peak = max(self._peak, self._used)
+        self.usage_samples.append((self.sim.now, self._used))
+
+    def unpin(self, key: Hashable) -> float:
+        """Release the bytes pinned under ``key``; returns the size.
+
+        Idempotent for the same reason memory eviction is: explicit and
+        implicit tier demotion can race.
+        """
+        nbytes = self._pinned.pop(key, 0.0)
+        if nbytes:
+            self._used = sum(self._pinned.values())
+            self.usage_samples.append((self.sim.now, self._used))
+        return nbytes
+
+    def is_pinned(self, key: Hashable) -> bool:
+        """Whether ``key`` currently resides on this SSD."""
+        return key in self._pinned
+
+    def pinned_keys(self) -> tuple[Hashable, ...]:
+        """Keys currently pinned (insertion order)."""
+        return tuple(self._pinned)
+
+    # -- transfers ---------------------------------------------------------
+
+    def read(self, nbytes: float, tag: str = "ssd-read") -> Event:
+        """Start reading ``nbytes``; returns the completion event."""
+        return self._resource.transfer(nbytes, tag=tag)
+
+    def write(self, nbytes: float, tag: str = "ssd-write") -> Event:
+        """Start writing ``nbytes``; returns the completion event."""
+        return self._resource.transfer(nbytes, tag=tag)
+
+    def start_read(self, nbytes: float, tag: str = "ssd-read") -> Flow:
+        """Flow-returning variant of :meth:`read` (cancellable)."""
+        return self._resource.start_flow(nbytes, tag=tag)
+
+    def cancel_read(self, flow: Flow) -> None:
+        """Abort a flow started with :meth:`start_read`."""
+        self._resource.cancel(flow)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently sharing the controller channel."""
+        return self._resource.active_flows
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes transferred (reads + writes)."""
+        return self._resource.bytes_moved
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative seconds the device spent with active flows."""
+        return self._resource.busy_time
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Busy fraction of wall time since ``since``."""
+        return self._resource.utilization(since)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Ssd {self.name!r} used={self._used:.3g}/"
+            f"{self.spec.capacity:.3g}B streams={self.active_streams}>"
+        )

@@ -10,11 +10,12 @@ work is off the critical path, §III-D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.cluster.network import Fabric
 from repro.cluster.node import Node, NodeSpec
+from repro.cluster.ssd import SsdSpec
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -44,6 +45,11 @@ class ClusterSpec:
     rack_uplink_bandwidth:
         Per-direction uplink capacity of each rack's ToR switch,
         bytes/second.  Only used when ``n_racks > 1``.
+    ssd:
+        Cluster-wide SSD cache spec applied to every worker whose node
+        spec does not already carry one (the tiered-storage extension).
+        ``None`` -- the default -- reproduces the paper's two-level
+        disk/RAM servers exactly.
     """
 
     n_workers: int = 7
@@ -52,6 +58,7 @@ class ClusterSpec:
     seed: int = 0
     n_racks: int = 1
     rack_uplink_bandwidth: float = 5e9  # 40 Gbps
+    ssd: Optional[SsdSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -68,7 +75,10 @@ class ClusterSpec:
 
     def spec_for(self, index: int) -> NodeSpec:
         """The effective spec for worker ``index``."""
-        return self.overrides.get(index, self.node)
+        spec = self.overrides.get(index, self.node)
+        if self.ssd is not None and spec.ssd is None:
+            spec = replace(spec, ssd=self.ssd)
+        return spec
 
     def rack_of(self, index: int) -> int:
         """The rack worker ``index`` lives in (round-robin striping)."""

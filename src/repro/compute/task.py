@@ -39,14 +39,20 @@ def _preferred_nodes(runtime: "JobRuntime", task: TaskSpec) -> tuple[int, ...]:
     """Locality preference for the slot request.
 
     The node holding the in-memory replica first (a memory-local read
-    beats everything), then the disk replica holders.
+    beats everything), then the SSD-cache holder (tiered extension;
+    the directory is empty under the paper's schemes), then the disk
+    replica holders.
     """
     if task.block is None:
         return ()
     preferred: list[int] = []
-    mem_node = runtime.client.namenode.memory_directory.get(task.block.block_id)
+    namenode = runtime.client.namenode
+    mem_node = namenode.memory_directory.get(task.block.block_id)
     if mem_node is not None:
         preferred.append(mem_node)
+    ssd_node = namenode.ssd_directory.get(task.block.block_id)
+    if ssd_node is not None and ssd_node not in preferred:
+        preferred.append(ssd_node)
     for node_id in task.block.replica_nodes:
         if node_id not in preferred:
             preferred.append(node_id)

@@ -80,7 +80,7 @@ class MigrationMaster:
             existing = self._records.get(block.block_id)
             if existing is not None and not existing.status.is_terminal:
                 continue
-            record = MigrationRecord(block=block, requested_at=self.sim.now)
+            record = self._new_record(block)
             self._records[block.block_id] = record
             self.record_log.append(record)
             new_records.append(record)
@@ -189,9 +189,14 @@ class MigrationMaster:
         record.mark_discarded(self.sim.now, reason)
         self._on_record_discarded(record)
 
+    def _new_record(self, block: Block) -> MigrationRecord:
+        """Record factory; the tiered master overrides this to route a
+        block already resident on a faster tier along the right edge."""
+        return MigrationRecord(block=block, requested_at=self.sim.now)
+
     def _remigrate(self, block: Block) -> MigrationRecord:
         """Create and enqueue a fresh PENDING record for ``block``."""
-        replacement = MigrationRecord(block=block, requested_at=self.sim.now)
+        replacement = self._new_record(block)
         self._records[block.block_id] = replacement
         self.record_log.append(replacement)
         self._on_new_records([replacement])

@@ -47,11 +47,20 @@ class MigrationStatus(enum.Enum):
 
 @dataclass
 class MigrationRecord:
-    """One block's migration state and timeline."""
+    """One block's migration state and timeline.
+
+    ``source_tier``/``dest_tier`` generalize the paper's single
+    disk->memory edge for the tiered-storage extension; the defaults
+    make a plain DYRS record byte-for-byte identical to before.
+    """
 
     block: Block
     requested_at: float
     status: MigrationStatus = MigrationStatus.PENDING
+    #: Device tier the copy reads from (``"disk"`` or ``"ssd"``).
+    source_tier: str = "disk"
+    #: Tier the block lands on (``"memory"`` or ``"ssd"``).
+    dest_tier: str = "memory"
     #: Algorithm 1's current choice of best node (recomputed each pass;
     #: advisory until binding).
     target_node: Optional[int] = None

@@ -5,8 +5,10 @@ Responsibilities (§III, §IV):
 * keep a shallow **local queue** of bound migrations -- deep enough
   that the disk never idles while the next pull is in flight, shallow
   enough that binding stays late (§III-A1/§III-B);
-* **serialize** migrations -- one disk->memory copy at a time, to
-  avoid seek thrashing (§III-B);
+* **serialize** migrations *per source device* -- one disk-sourced
+  copy at a time to avoid seek thrashing (§III-B), and, in the tiered
+  extension, one SSD-sourced copy at a time on a separate lane so a
+  fast ssd->memory promotion never waits behind a slow disk read;
 * maintain the **EWMA migration-time estimator**, including the
   every-heartbeat in-progress refresh (§IV-A);
 * piggyback ``(estimate, queue depth)`` on heartbeats (§III-D);
@@ -55,15 +57,33 @@ class DyrsSlave:
         self.master = master
         self.config = config
         self.sim = datanode.node.sim
+        #: Disk-lane estimator -- the ``estMigrationTime`` of §IV-A and
+        #: the load signal Algorithm 1 consumes.
         self.estimator = MigrationTimeEstimator(
             initial_rate=self.node.spec.disk.bandwidth,
             alpha=config.ewma_alpha,
+        )
+        #: SSD-lane estimator (tiered extension); None on SSD-less
+        #: nodes so the paper's configurations build nothing extra.
+        self.ssd_estimator: Optional[MigrationTimeEstimator] = (
+            MigrationTimeEstimator(
+                initial_rate=self.node.spec.ssd.bandwidth,
+                alpha=config.ewma_alpha,
+            )
+            if self.node.spec.ssd is not None
+            else None
         )
         self._queue: deque[MigrationRecord] = deque()
         self._active: Optional[MigrationRecord] = None
         self._worker: Optional[Process] = None
         self._work_signal: Optional[Event] = None
         self._space_signal: Optional[Event] = None
+        #: SSD-sourced lane: queue, serialized worker (spawned lazily
+        #: on first use), and its own memory-space signal.
+        self._ssd_queue: deque[MigrationRecord] = deque()
+        self._ssd_active: Optional[MigrationRecord] = None
+        self._ssd_worker: Optional[Process] = None
+        self._ssd_space_signal: Optional[Event] = None
         self._pull_in_flight = False
         self.alive = False
         #: Completed migrations: (record, duration), for metrics.
@@ -85,9 +105,14 @@ class DyrsSlave:
 
     @property
     def queued_blocks(self) -> int:
-        """Local queue length including the active migration --
+        """Disk-lane queue length including the active migration --
         the ``numQueued`` the master sees (Algorithm 1)."""
         return len(self._queue) + (1 if self._active is not None else 0)
+
+    @property
+    def ssd_queued_blocks(self) -> int:
+        """SSD-lane queue length including its active copy."""
+        return len(self._ssd_queue) + (1 if self._ssd_active is not None else 0)
 
     @property
     def memory_limit(self) -> float:
@@ -126,8 +151,17 @@ class DyrsSlave:
         self._worker = None
         self._active = None
         self._queue.clear()
+        if self._ssd_worker is not None and self._ssd_worker.is_alive:
+            self._ssd_worker.interrupt(cause="crash")
+        self._ssd_worker = None
+        self._ssd_active = None
+        self._ssd_queue.clear()
         for block_id in self.datanode.memory_block_ids():
             self.datanode.unpin_block(block_id)
+        # The SSD cache is slave-managed soft state (like the memory
+        # directory); the replacement process starts it cold.
+        for block_id in self.datanode.ssd_block_ids():
+            self.datanode.unpin_block_ssd(block_id)
 
     def restart(self) -> None:
         """Start a fresh slave process after a crash.
@@ -145,19 +179,32 @@ class DyrsSlave:
     # -- master-facing API ------------------------------------------------------------
 
     def enqueue(self, record: MigrationRecord) -> None:
-        """Add a bound record to the local queue and wake the worker.
+        """Add a bound record to its source device's lane.
 
         Used both by the pull path (the worker's own fetches) and by
-        push-style masters (Ignem binds at submission, §VI).
+        push-style masters (Ignem binds at submission, §VI; the tiered
+        master push-binds ssd-sourced promotions the same way).
         """
+        if record.source_tier == "ssd":
+            self._ssd_queue.append(record)
+            if self.alive and self._ssd_worker is None:
+                self._ssd_worker = self.sim.process(
+                    self._run_ssd(), name=f"dyrs-slave-ssd:{self.node_id}"
+                )
+            return
         self._queue.append(record)
         if self._work_signal is not None and not self._work_signal.triggered:
             self._work_signal.succeed()
 
     def notify_memory_freed(self) -> None:
-        """Eviction freed memory; wake a worker stalled on space."""
+        """Eviction freed memory; wake any lane stalled on space."""
         if self._space_signal is not None and not self._space_signal.triggered:
             self._space_signal.succeed()
+        if (
+            self._ssd_space_signal is not None
+            and not self._ssd_space_signal.triggered
+        ):
+            self._ssd_space_signal.succeed()
 
     def heartbeat_payload(self) -> dict:
         """Heartbeat contributor: refresh the estimator against the
@@ -169,10 +216,23 @@ class DyrsSlave:
         ):
             elapsed = self.sim.now - self._active.started_at
             self.estimator.refresh(elapsed, self._active.block.size, now=self.sim.now)
-        return {
+        payload = {
             "dyrs.seconds_per_byte": self.estimator.seconds_per_byte,
             "dyrs.queued_blocks": self.queued_blocks,
         }
+        if self.ssd_estimator is not None:
+            if (
+                self.config.estimator_refresh
+                and self._ssd_active is not None
+                and self._ssd_active.started_at is not None
+            ):
+                elapsed = self.sim.now - self._ssd_active.started_at
+                self.ssd_estimator.refresh(
+                    elapsed, self._ssd_active.block.size, now=self.sim.now
+                )
+            payload["dyrs.ssd_seconds_per_byte"] = self.ssd_estimator.seconds_per_byte
+            payload["dyrs.ssd_queued_blocks"] = self.ssd_queued_blocks
+        return payload
 
     # -- worker internals ---------------------------------------------------------------
 
@@ -241,30 +301,72 @@ class DyrsSlave:
         except Interrupt:
             return
 
+    def _run_ssd(self):
+        """The SSD-sourced lane: serialized like the disk lane, but
+        push-fed (no pulls) and spawned lazily, so configurations
+        without tiering run zero extra processes.  Exits when the
+        queue drains; :meth:`enqueue` respawns it."""
+        try:
+            while self.alive and self._ssd_queue:
+                record = self._ssd_queue.popleft()
+                if record.status.is_terminal:
+                    continue
+                self._ssd_active = record
+                try:
+                    yield from self._migrate_one(record)
+                finally:
+                    self._ssd_active = None
+        except Interrupt:
+            return
+        finally:
+            self._ssd_worker = None
+
+    def _ssd_dest_fits(self, nbytes: float) -> bool:
+        return self.node.ssd is not None and self.node.ssd.fits(nbytes)
+
     def _migrate_one(self, record: MigrationRecord):
-        """Execute one serialized migration; returns True if completed."""
+        """Execute one serialized migration; returns True if completed.
+
+        ``record.source_tier`` selects the lane's device and estimator;
+        ``record.dest_tier`` selects the space discipline: memory
+        destinations wait for eviction under the hard limit (§IV-A1),
+        while a full SSD discards the promotion immediately -- stalling
+        a lane for optional cache fill would starve real work.
+        """
         sim = self.sim
         block = record.block
-        # Memory-pressure GC, then wait for space (§IV-A1, §III-C3).
-        if self.node.memory.used >= self.config.gc_threshold * self.memory_limit:
-            self.master.gc_sweep()
-        while not self._memory_fits(block.size):
-            self._space_signal = Event(sim, name=f"space:{self.node_id}")
-            yield AnyOf(
-                sim,
-                [self._space_signal, sim.timeout(self.config.heartbeat_interval)],
-            )
-            self._space_signal = None
-            if record.status.is_terminal:
-                return False  # discarded while waiting (missed read)
+        lane = record.source_tier
+        if record.dest_tier == "memory":
+            # Memory-pressure GC, then wait for space (§IV-A1, §III-C3).
+            if self.node.memory.used >= self.config.gc_threshold * self.memory_limit:
+                self.master.gc_sweep()
+            while not self._memory_fits(block.size):
+                signal = Event(sim, name=f"space:{lane}:{self.node_id}")
+                if lane == "ssd":
+                    self._ssd_space_signal = signal
+                else:
+                    self._space_signal = signal
+                yield AnyOf(
+                    sim,
+                    [signal, sim.timeout(self.config.heartbeat_interval)],
+                )
+                if lane == "ssd":
+                    self._ssd_space_signal = None
+                else:
+                    self._space_signal = None
+                if record.status.is_terminal:
+                    return False  # discarded while waiting (missed read)
+        elif not self._ssd_dest_fits(block.size):
+            self.master.discard(record, reason="ssd-full")
+            return False
         if record.status.is_terminal:
             # The GC sweep above may have discarded this very record
             # (its job went inactive while it sat in our queue).
             return False
         record.mark_active(sim.now)
         started = sim.now
-        copy_done = self.datanode.migrate_block_to_memory(
-            block, tag=f"migrate:{block.block_id}"
+        copy_done = self.datanode.copy_block(
+            block, source_tier=lane, tag=f"migrate:{block.block_id}"
         )
         yield copy_done
         duration = sim.now - started
@@ -272,8 +374,16 @@ class DyrsSlave:
             # Discarded mid-copy (e.g. the master reclaimed work from a
             # presumed-dead slave); the bytes were read for nothing.
             return False
-        self.estimator.observe(duration, block.size, now=sim.now)
-        self.datanode.pin_block(block)
+        estimator = self.ssd_estimator if lane == "ssd" else self.estimator
+        estimator.observe(duration, block.size, now=sim.now)
+        if record.dest_tier == "ssd":
+            if not self._ssd_dest_fits(block.size):
+                # The cache filled up while the copy ran.
+                self.master.discard(record, reason="ssd-full")
+                return False
+            self.datanode.pin_block_ssd(block)
+        else:
+            self.datanode.pin_block(block)
         record.mark_done(sim.now)
         self.completed.append((record, duration))
         self.master.on_migration_complete(record, self.node_id, duration)

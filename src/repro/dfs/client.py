@@ -85,6 +85,32 @@ class DFSClient:
             master.on_block_read(block, job_id, event)
         return event, source
 
+    def resident_tier(self, block: Block) -> str:
+        """Fastest tier a read of ``block`` would be served from right
+        now (``"memory"``, ``"ssd"``, or ``"disk"``).
+
+        Mirrors :meth:`NameNode.resolve_read`'s verification of the
+        soft-state directories, so the answer matches what a read
+        issued at this instant would hit.  Observability only -- the
+        read path never calls this.
+        """
+        nn = self.namenode
+        mem_node = nn.memory_directory.get(block.block_id)
+        if (
+            mem_node is not None
+            and nn.is_available(mem_node)
+            and nn.datanodes[mem_node].has_memory_replica(block.block_id)
+        ):
+            return "memory"
+        ssd_node = nn.ssd_directory.get(block.block_id)
+        if (
+            ssd_node is not None
+            and nn.is_available(ssd_node)
+            and nn.datanodes[ssd_node].has_ssd_replica(block.block_id)
+        ):
+            return "ssd"
+        return "disk"
+
     def cancel_read(self, event: Event) -> bool:
         """Abort an in-flight read started by :meth:`read_block`.
 

@@ -1,15 +1,19 @@
-"""DataNode: block storage and the three read paths.
+"""DataNode: block storage and the tier-resolved read paths.
 
 A DataNode serves a block read from either
 
 * its **disk** (the cold path DYRS wants to avoid),
+* its **SSD cache**, when the tiered-storage extension placed a warm
+  copy there (local or remote -- the SSD controller is the bottleneck
+  either way, as the disk is for disk reads), or
 * its **memory**, locally (the task runs on this node), or
 * its **memory**, remotely (the data crosses the source NIC --
   §III: "reads will be directed to the in-memory replica whether it is
   local or remote to the task making the read").
 
-Each completed read is recorded for the Fig 8 read-distribution
-analysis.
+Tier resolution always prefers the fastest resident copy:
+memory > ssd > disk.  Each completed read is recorded for the Fig 8
+read-distribution analysis.
 """
 
 from __future__ import annotations
@@ -32,12 +36,18 @@ class ReadSource(enum.Enum):
 
     LOCAL_MEMORY = "local-memory"
     REMOTE_MEMORY = "remote-memory"
+    LOCAL_SSD = "local-ssd"
+    REMOTE_SSD = "remote-ssd"
     LOCAL_DISK = "local-disk"
     REMOTE_DISK = "remote-disk"
 
     @property
     def is_memory(self) -> bool:
         return self in (ReadSource.LOCAL_MEMORY, ReadSource.REMOTE_MEMORY)
+
+    @property
+    def is_ssd(self) -> bool:
+        return self in (ReadSource.LOCAL_SSD, ReadSource.REMOTE_SSD)
 
 
 @dataclass(frozen=True)
@@ -78,9 +88,18 @@ class DataNode:
     def has_memory_replica(self, block_id: BlockId) -> bool:
         return self.node.memory.is_pinned(block_id)
 
+    def has_ssd_replica(self, block_id: BlockId) -> bool:
+        return self.node.ssd is not None and self.node.ssd.is_pinned(block_id)
+
     def memory_block_ids(self) -> tuple[BlockId, ...]:
         """Blocks currently pinned in this node's memory."""
         return self.node.memory.pinned_keys()  # type: ignore[return-value]
+
+    def ssd_block_ids(self) -> tuple[BlockId, ...]:
+        """Blocks currently resident on this node's SSD cache."""
+        if self.node.ssd is None:
+            return ()
+        return self.node.ssd.pinned_keys()  # type: ignore[return-value]
 
     @property
     def disk_replica_count(self) -> int:
@@ -96,11 +115,31 @@ class DataNode:
         (§IV-A: "migration time [is] the time it takes the mlock
         system call to return").
         """
-        if block.block_id not in self._disk_blocks:
-            raise KeyError(
-                f"node{self.node_id} has no disk replica of block {block.block_id}"
-            )
-        return self.node.disk.read(block.size, tag=tag)
+        return self.copy_block(block, source_tier="disk", tag=tag)
+
+    def copy_block(
+        self, block: Block, source_tier: str = "disk", tag: str = "migration"
+    ) -> Event:
+        """Start a tier copy reading from ``source_tier``; completion
+        event returned.
+
+        Charges the *source* device -- the bottleneck of every upward
+        tier edge (disk < ssd < memory write absorption); the caller
+        pins the block on the destination tier after completion.
+        """
+        if source_tier == "disk":
+            if block.block_id not in self._disk_blocks:
+                raise KeyError(
+                    f"node{self.node_id} has no disk replica of block {block.block_id}"
+                )
+            return self.node.disk.read(block.size, tag=tag)
+        if source_tier == "ssd":
+            if not self.has_ssd_replica(block.block_id):
+                raise KeyError(
+                    f"node{self.node_id} has no SSD replica of block {block.block_id}"
+                )
+            return self.node.ssd.read(block.size, tag=tag)
+        raise ValueError(f"unknown source tier {source_tier!r}")
 
     def pin_block(self, block: Block) -> None:
         """Account the migrated block in memory (post-``mlock``)."""
@@ -109,6 +148,18 @@ class DataNode:
     def unpin_block(self, block_id: BlockId) -> float:
         """Evict a block from memory (``munmap``); idempotent."""
         return self.node.memory.unpin(block_id)
+
+    def pin_block_ssd(self, block: Block) -> None:
+        """Account ``block`` as resident on this node's SSD cache."""
+        if self.node.ssd is None:
+            raise RuntimeError(f"node{self.node_id} has no SSD tier")
+        self.node.ssd.pin(block.block_id, block.size)
+
+    def unpin_block_ssd(self, block_id: BlockId) -> float:
+        """Drop a block from the SSD cache; idempotent."""
+        if self.node.ssd is None:
+            return 0.0
+        return self.node.ssd.unpin(block_id)
 
     # -- read paths ----------------------------------------------------------
 
@@ -173,6 +224,18 @@ class DataNode:
                 event, cancel = self._remote_memory_transfer(
                     block.size, reader_node, tag
                 )
+        elif self.has_ssd_replica(block.block_id):
+            # SSD reads charge the controller channel only -- like the
+            # disk path, the storage device (not the 10 Gbps NIC) is the
+            # bottleneck whether the reader is local or remote.
+            source = (
+                ReadSource.LOCAL_SSD
+                if reader_node == self.node_id
+                else ReadSource.REMOTE_SSD
+            )
+            flow = self.node.ssd.start_read(block.size, tag=tag)
+            cancel = lambda: self.node.ssd.cancel_read(flow)  # noqa: E731
+            event = flow.done
         elif self.has_disk_replica(block.block_id):
             source = (
                 ReadSource.LOCAL_DISK

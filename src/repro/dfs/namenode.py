@@ -83,6 +83,9 @@ class NameNode:
         }
         #: Soft state: block id -> node id of the in-memory replica.
         self.memory_directory: dict[BlockId, int] = {}
+        #: Soft state: block id -> node id of the SSD-cached replica
+        #: (the tiered-storage extension; empty for the paper's schemes).
+        self.ssd_directory: dict[BlockId, int] = {}
         #: Read directives: block id -> replica node reads should be
         #: steered to even before (or without) migration completing.
         #: Ignem's replica selection pins reads this way -- which is
@@ -234,12 +237,24 @@ class NameNode:
         """Slave notification: the in-memory replica is gone."""
         self.memory_directory.pop(block_id, None)
 
+    def record_ssd_replica(self, block_id: BlockId, node_id: int) -> None:
+        """Tier notification: ``block_id`` is cached on ``node_id``'s SSD."""
+        self.ssd_directory[block_id] = node_id
+
+    def drop_ssd_replica(self, block_id: BlockId) -> None:
+        """Tier notification: the SSD-cached replica is gone."""
+        self.ssd_directory.pop(block_id, None)
+
     def drop_node_memory_state(self, node_id: int) -> None:
         """A restarted slave asks the master to forget its blocks
-        (§III-C2)."""
+        (§III-C2).  Covers both fast-tier directories: the replacement
+        process starts with cold memory *and* a cold SSD cache."""
         stale = [b for b, n in self.memory_directory.items() if n == node_id]
         for block_id in stale:
             del self.memory_directory[block_id]
+        stale_ssd = [b for b, n in self.ssd_directory.items() if n == node_id]
+        for block_id in stale_ssd:
+            del self.ssd_directory[block_id]
 
     # -- read routing ------------------------------------------------------------
 
@@ -251,14 +266,17 @@ class NameNode:
     ) -> DataNode:
         """Choose the DataNode that should serve a read of ``block``.
 
-        Preference order (per §III and §III-C2):
+        Preference order (per §III and §III-C2, extended with the SSD
+        rung of the tier ladder):
 
         1. the in-memory replica, if its node is available and really
            still holds the data (soft state verified on access);
-        2. a read directive (a scheme pinned this block's reads to one
+        2. the SSD-cached replica, verified the same way (empty
+           directory -- hence no-op -- for the paper's schemes);
+        3. a read directive (a scheme pinned this block's reads to one
            replica -- Ignem does this at binding time);
-        3. a disk replica local to the reader;
-        4. any available disk replica (deterministically the first).
+        4. a disk replica local to the reader;
+        5. any available disk replica (deterministically the first).
 
         Raises
         ------
@@ -269,6 +287,11 @@ class NameNode:
         if mem_node is not None and self.is_available(mem_node):
             dn = self.datanodes[mem_node]
             if dn.has_memory_replica(block.block_id):
+                return dn
+        ssd_node = self.ssd_directory.get(block.block_id)
+        if ssd_node is not None and self.is_available(ssd_node):
+            dn = self.datanodes[ssd_node]
+            if dn.has_ssd_replica(block.block_id):
                 return dn
         directed = self.read_directives.get(block.block_id) if honor_directives else None
         if (

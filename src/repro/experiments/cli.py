@@ -134,7 +134,21 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=None,
         help="also export the figure/table data as CSV into DIR",
     )
+    parser.add_argument(
+        "--tiers",
+        action="store_true",
+        help=(
+            "run the dyrs scheme as dyrs-tiered (SSD tier + lifecycle "
+            "policies; extension beyond the paper, off by default)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.tiers:
+        from repro.experiments.common import enable_tiered
+
+        enable_tiered()
+        print("[tiered storage enabled: 'dyrs' runs as 'dyrs-tiered']")
 
     if args.experiment == "list":
         for name, (artifact, _) in EXPERIMENTS.items():

@@ -21,6 +21,8 @@ from repro.units import GB, MB
 __all__ = [
     "PaperSetup",
     "build_system",
+    "enable_tiered",
+    "tiered_enabled",
     "warm_up",
     "PAPER_WORKERS",
     "SLOW_NODE",
@@ -30,6 +32,25 @@ __all__ = [
 PAPER_WORKERS = 7
 #: The node the §V-C interference rig handicaps in single-node setups.
 SLOW_NODE = 0
+
+#: When set (the CLI's ``--tiers`` flag), :func:`build_system` swaps
+#: the ``"dyrs"`` scheme for its ``"dyrs-tiered"`` variant.  Off by
+#: default: the paper's experiments must run the paper's system.
+_TIERED = False
+
+
+def enable_tiered(enabled: bool = True) -> None:
+    """Toggle the tiered-storage variant for subsequently built systems.
+
+    Only the ``"dyrs"`` scheme is substituted; baselines (hdfs, ram,
+    ignem, ...) are untouched so comparisons keep their meaning.
+    """
+    global _TIERED
+    _TIERED = enabled
+
+
+def tiered_enabled() -> bool:
+    return _TIERED
 
 
 @dataclass(frozen=True)
@@ -86,9 +107,12 @@ def build_system(setup: PaperSetup) -> System:
         disk=DiskSpec(seek_penalty=setup.seek_penalty),
         task_slots=setup.task_slots,
     )
+    scheme = setup.scheme
+    if _TIERED and scheme == "dyrs":
+        scheme = "dyrs-tiered"
     system = System(
         SystemConfig(
-            scheme=setup.scheme,
+            scheme=scheme,
             cluster=ClusterSpec(
                 n_workers=setup.n_workers,
                 node=node,

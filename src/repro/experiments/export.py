@@ -9,6 +9,7 @@ per artifact, named after the paper's figure/table.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
@@ -23,7 +24,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.swim import SwimResult
     from repro.experiments.tracking import TrackingResult
 
-__all__ = ["export_result", "EXPORTERS"]
+__all__ = ["export_result", "export_json", "EXPORTERS"]
+
+
+def export_json(path: Union[str, Path], payload: dict) -> Path:
+    """Write ``payload`` as deterministic JSON (sorted keys, indented).
+
+    The structured-summary companion of the CSV writers, used by the
+    tiered-read benchmark; keys are sorted so diffs of two runs are
+    meaningful.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def _write(path: Path, headers: list[str], rows: list[list]) -> Path:

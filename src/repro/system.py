@@ -20,6 +20,14 @@ Two more schemes support specific figures:
 ``"instant"``
     The zero-cost hypothetical migrator (Fig 7b).
 
+One scheme is an extension beyond the paper:
+
+``"dyrs-tiered"``
+    DYRS plus the SSD tier of :mod:`repro.tiers` -- block-temperature
+    tracking, background disk->ssd promotion, and demote-on-evict.
+    Every node gets an SSD cache (the cluster spec's, or the default
+    :class:`~repro.cluster.ssd.SsdSpec` when the spec has none).
+
 :class:`System` wires everything and exposes the handful of handles
 experiments need.
 """
@@ -29,17 +37,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
-from repro.cluster import Cluster, ClusterSpec
+from repro.cluster import Cluster, ClusterSpec, SsdSpec
 from repro.compute import ComputeConfig, JobRuntime, MetricsCollector, TaskScheduler
 from repro.core import DyrsConfig, DyrsMaster, DyrsSlave, IgnemMaster, NaiveBalancerMaster
 from repro.core.baselines import InstantMigrator
 from repro.dfs import DFSClient, NameNode, RandomPlacement
 from repro.dfs.heartbeat import HeartbeatService
 from repro.dfs.namespace import DEFAULT_BLOCK_SIZE
+from repro.tiers import TierConfig, TieredDyrsMaster
 
 __all__ = ["System", "SystemConfig", "SCHEMES"]
 
-SCHEMES = ("hdfs", "ram", "dyrs", "ignem", "naive", "instant")
+SCHEMES = ("hdfs", "ram", "dyrs", "ignem", "naive", "instant", "dyrs-tiered")
 
 
 @dataclass(frozen=True)
@@ -49,6 +58,7 @@ class SystemConfig:
     scheme: str = "dyrs"
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     dyrs: DyrsConfig = field(default_factory=DyrsConfig)
+    tiers: TierConfig = field(default_factory=TierConfig)
     compute: ComputeConfig = field(default_factory=ComputeConfig)
     block_size: float = DEFAULT_BLOCK_SIZE
     replication: int = 3
@@ -76,7 +86,12 @@ class System:
 
     def __init__(self, config: Optional[SystemConfig] = None) -> None:
         self.config = config or SystemConfig()
-        self.cluster = Cluster(self.config.cluster)
+        cluster_spec = self.config.cluster
+        if self.config.scheme == "dyrs-tiered" and cluster_spec.ssd is None:
+            # The tiered scheme needs an SSD on every node; give the
+            # default cache when the spec does not carry one.
+            cluster_spec = replace(cluster_spec, ssd=SsdSpec())
+        self.cluster = Cluster(cluster_spec)
         self.sim = self.cluster.sim
         n = len(self.cluster.nodes)
         self.namenode = NameNode(
@@ -101,6 +116,8 @@ class System:
             self.cluster, locality_delay=self.config.locality_delay
         )
         self.metrics = MetricsCollector()
+        if isinstance(self.master, TieredDyrsMaster):
+            self.master.attach_metrics(self.metrics)
         self.runtime = JobRuntime(
             self.cluster,
             self.client,
@@ -116,6 +133,10 @@ class System:
             return None
         if scheme == "dyrs":
             return DyrsMaster(self.namenode, self.config.dyrs)
+        if scheme == "dyrs-tiered":
+            return TieredDyrsMaster(
+                self.namenode, self.config.dyrs, tier_config=self.config.tiers
+            )
         if scheme == "ignem":
             return IgnemMaster(self.namenode, self.cluster.rngs.stream("ignem"))
         if scheme == "naive":

@@ -1,0 +1,55 @@
+"""Tiered-storage extension: an SSD rung between disk and memory.
+
+This package generalizes DYRS's two-level disk->memory migration into
+a three-rung storage ladder (disk < ssd < memory):
+
+* :mod:`repro.tiers.tier` -- the :class:`StorageTier` facade over the
+  cluster's concrete devices;
+* :mod:`repro.tiers.temperature` -- per-block EWMA access tracking and
+  the hot/warm/cold classification;
+* :mod:`repro.tiers.policy` -- pure placement policies (temperature
+  ladder, cost-benefit);
+* :mod:`repro.tiers.master` -- the lifecycle engine, a
+  :class:`~repro.core.master.DyrsMaster` subclass that routes every
+  tier edge through the paper's bandwidth-aware machinery.
+
+The package is an *extension*, not part of the reproduction: no scheme
+the paper evaluates touches it, and building a system without the
+``"dyrs-tiered"`` scheme creates none of its objects.
+"""
+
+from repro.tiers.master import TierConfig, TieredDyrsMaster
+from repro.tiers.policy import (
+    CostBenefitPolicy,
+    PlacementContext,
+    ThresholdPolicy,
+    TierPolicy,
+)
+from repro.tiers.temperature import Temperature, TemperatureTracker
+from repro.tiers.tier import (
+    TIER_ORDER,
+    DiskTier,
+    MemoryTier,
+    SsdTier,
+    StorageTier,
+    is_promotion,
+    node_tiers,
+)
+
+__all__ = [
+    "TIER_ORDER",
+    "CostBenefitPolicy",
+    "DiskTier",
+    "MemoryTier",
+    "PlacementContext",
+    "SsdTier",
+    "StorageTier",
+    "Temperature",
+    "TemperatureTracker",
+    "ThresholdPolicy",
+    "TierConfig",
+    "TierPolicy",
+    "TieredDyrsMaster",
+    "is_promotion",
+    "node_tiers",
+]

@@ -1,0 +1,264 @@
+"""The :class:`StorageTier` abstraction: one rung of the storage ladder.
+
+DYRS hard-codes a two-level hierarchy (disk below, RAM above).  This
+module generalizes the rungs into a uniform facade so the lifecycle
+policies in :mod:`repro.tiers.policy` can reason about *any* pair of
+adjacent tiers with the same code: every tier reports capacity,
+occupancy, and a nominal per-byte read cost, and exposes the transfer
+primitives of the device it wraps.  Queueing/contention behaviour comes
+from the wrapped devices' existing bandwidth resources -- a tier adds
+no second model of the hardware.
+
+Tiers are ordered by :data:`TIER_ORDER` (``disk`` < ``ssd`` <
+``memory``); moving a block to a higher rung is a *promotion*, to a
+lower rung a *demotion*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Hashable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.disk import Disk
+    from repro.cluster.memory import MemoryStore
+    from repro.cluster.node import Node
+    from repro.cluster.ssd import Ssd
+    from repro.sim.events import Event
+
+__all__ = [
+    "StorageTier",
+    "DiskTier",
+    "SsdTier",
+    "MemoryTier",
+    "TIER_ORDER",
+    "is_promotion",
+    "node_tiers",
+]
+
+#: Canonical rung order: index 0 is the slowest/bottom tier.
+TIER_ORDER: tuple[str, ...] = ("disk", "ssd", "memory")
+
+
+def is_promotion(source: str, dest: str) -> bool:
+    """Whether moving ``source`` -> ``dest`` climbs the ladder."""
+    return TIER_ORDER.index(dest) > TIER_ORDER.index(source)
+
+
+class StorageTier:
+    """Uniform facade over one node-local storage rung.
+
+    Subclasses wrap a concrete device and implement residency
+    accounting plus the read/write primitives.  The base class carries
+    the shared vocabulary (name, rank, cost model) so policies never
+    need to know which device they are looking at.
+    """
+
+    #: Tier name, one of :data:`TIER_ORDER`.
+    name: str = ""
+
+    @property
+    def rank(self) -> int:
+        """Position in the ladder (higher is faster)."""
+        return TIER_ORDER.index(self.name)
+
+    # -- residency (overridden) --------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def used(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    def fits(self, nbytes: float) -> bool:
+        return nbytes <= self.free + 1e-9
+
+    def pin(self, key: Hashable, nbytes: float) -> None:
+        raise NotImplementedError
+
+    def unpin(self, key: Hashable) -> float:
+        raise NotImplementedError
+
+    def is_resident(self, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def resident_keys(self) -> tuple[Hashable, ...]:
+        raise NotImplementedError
+
+    # -- I/O (overridden) ---------------------------------------------------
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Nominal unloaded read throughput, bytes/second."""
+        raise NotImplementedError
+
+    def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
+        """Start a read of ``nbytes``; returns the completion event."""
+        raise NotImplementedError
+
+    def write(self, nbytes: float, tag: str = "tier-write") -> Optional["Event"]:
+        """Start a write of ``nbytes``; None when the tier's writes are
+        pure accounting (memory pins charge no device transfer)."""
+        raise NotImplementedError
+
+    # -- cost model ----------------------------------------------------------
+
+    def read_seconds(self, nbytes: float) -> float:
+        """Nominal time to read ``nbytes`` from an idle device.
+
+        The policies' cost-benefit arithmetic uses this as the
+        *optimistic* per-tier read cost; load-aware costs come from the
+        slaves' EWMA estimators instead.
+        """
+        return nbytes / self.read_bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if math.isinf(self.capacity) else f"{self.capacity:.3g}"
+        return f"<{type(self).__name__} used={self.used:.3g}/{cap}B>"
+
+
+class DiskTier(StorageTier):
+    """The bottom rung: the node's spinning disk.
+
+    Disk replicas are the DFS's ground truth -- they are never "pinned"
+    or evicted by tier lifecycle, so residency here is a no-op with
+    infinite capacity; the tier exists to give the ladder a floor and
+    the cost model a disk entry.
+    """
+
+    name = "disk"
+
+    def __init__(self, disk: "Disk") -> None:
+        self.disk = disk
+
+    @property
+    def capacity(self) -> float:
+        return math.inf
+
+    @property
+    def used(self) -> float:
+        return 0.0
+
+    def fits(self, nbytes: float) -> bool:
+        return True
+
+    def pin(self, key: Hashable, nbytes: float) -> None:
+        pass  # disk replicas are managed by the DFS block map
+
+    def unpin(self, key: Hashable) -> float:
+        return 0.0
+
+    def is_resident(self, key: Hashable) -> bool:
+        return False
+
+    def resident_keys(self) -> tuple[Hashable, ...]:
+        return ()
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.disk.spec.bandwidth
+
+    def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
+        return self.disk.read(nbytes, tag=tag)
+
+    def write(self, nbytes: float, tag: str = "tier-write") -> "Event":
+        return self.disk.write(nbytes, tag=tag)
+
+
+class SsdTier(StorageTier):
+    """The middle rung: the node's SSD cache partition."""
+
+    name = "ssd"
+
+    def __init__(self, ssd: "Ssd") -> None:
+        self.ssd = ssd
+
+    @property
+    def capacity(self) -> float:
+        return self.ssd.spec.capacity
+
+    @property
+    def used(self) -> float:
+        return self.ssd.used
+
+    def pin(self, key: Hashable, nbytes: float) -> None:
+        self.ssd.pin(key, nbytes)
+
+    def unpin(self, key: Hashable) -> float:
+        return self.ssd.unpin(key)
+
+    def is_resident(self, key: Hashable) -> bool:
+        return self.ssd.is_pinned(key)
+
+    def resident_keys(self) -> tuple[Hashable, ...]:
+        return self.ssd.pinned_keys()
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.ssd.spec.bandwidth
+
+    def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
+        return self.ssd.read(nbytes, tag=tag)
+
+    def write(self, nbytes: float, tag: str = "tier-write") -> "Event":
+        return self.ssd.write(nbytes, tag=tag)
+
+
+class MemoryTier(StorageTier):
+    """The top rung: the node's migrated-data memory store."""
+
+    name = "memory"
+
+    def __init__(self, memory: "MemoryStore") -> None:
+        self.memory = memory
+
+    @property
+    def capacity(self) -> float:
+        return self.memory.spec.capacity
+
+    @property
+    def used(self) -> float:
+        return self.memory.used
+
+    def pin(self, key: Hashable, nbytes: float) -> None:
+        self.memory.pin(key, nbytes)
+
+    def unpin(self, key: Hashable) -> float:
+        return self.memory.unpin(key)
+
+    def is_resident(self, key: Hashable) -> bool:
+        return self.memory.is_pinned(key)
+
+    def resident_keys(self) -> tuple[Hashable, ...]:
+        return self.memory.pinned_keys()
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.memory.spec.read_bandwidth
+
+    def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
+        return self.memory.read(nbytes, tag=tag)
+
+    def write(self, nbytes: float, tag: str = "tier-write") -> None:
+        return None  # pinning is the write; mlock charges no transfer
+
+
+def node_tiers(node: "Node") -> dict[str, StorageTier]:
+    """The tier ladder present on ``node``, keyed by tier name.
+
+    Always contains ``disk`` and ``memory``; ``ssd`` only when the node
+    spec carries an SSD cache.
+    """
+    tiers: dict[str, StorageTier] = {
+        "disk": DiskTier(node.disk),
+        "memory": MemoryTier(node.memory),
+    }
+    if node.ssd is not None:
+        tiers["ssd"] = SsdTier(node.ssd)
+    return tiers

@@ -1,0 +1,97 @@
+"""Unit tests for the EWMA block-temperature tracker."""
+
+import math
+
+import pytest
+
+from repro.tiers import Temperature, TemperatureTracker
+
+
+def make_tracker(**kw):
+    defaults = dict(alpha=0.3, hot_age=60.0, cold_age=300.0)
+    defaults.update(kw)
+    return TemperatureTracker(**defaults)
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            make_tracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            make_tracker(alpha=1.5)
+
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            make_tracker(hot_age=0.0)
+        with pytest.raises(ValueError):
+            make_tracker(hot_age=100.0, cold_age=100.0)
+
+
+class TestScore:
+    def test_never_accessed_is_cold(self):
+        tracker = make_tracker()
+        assert math.isinf(tracker.score("b", now=0.0))
+        assert tracker.classify("b", now=0.0) is Temperature.COLD
+
+    def test_single_access_scores_by_age(self):
+        tracker = make_tracker()
+        tracker.record_access("b", now=0.0)
+        assert tracker.score("b", now=10.0) == pytest.approx(10.0)
+        assert tracker.classify("b", now=10.0) is Temperature.HOT
+        assert tracker.classify("b", now=100.0) is Temperature.WARM
+        assert tracker.classify("b", now=400.0) is Temperature.COLD
+
+    def test_ewma_interval_smoothing(self):
+        tracker = make_tracker(alpha=0.3)
+        tracker.record_access("b", now=0.0)
+        tracker.record_access("b", now=10.0)
+        assert tracker.ewma_interval("b") == pytest.approx(10.0)
+        tracker.record_access("b", now=30.0)
+        # 0.7 * 10 + 0.3 * 20
+        assert tracker.ewma_interval("b") == pytest.approx(13.0)
+
+    def test_score_is_max_of_interval_and_age(self):
+        tracker = make_tracker()
+        tracker.record_access("b", now=0.0)
+        tracker.record_access("b", now=100.0)
+        # Recent touch, but the smoothed interval says "idle data":
+        # one fresh access must not make it hot.
+        assert tracker.score("b", now=100.0) == pytest.approx(100.0)
+        assert tracker.classify("b", now=100.0) is Temperature.WARM
+
+    def test_frequent_recent_block_is_hot(self):
+        tracker = make_tracker()
+        for t in (0.0, 5.0, 10.0, 15.0):
+            tracker.record_access("b", now=t)
+        assert tracker.classify("b", now=16.0) is Temperature.HOT
+
+
+class TestBookkeeping:
+    def test_access_count_and_rate(self):
+        tracker = make_tracker()
+        assert tracker.access_rate("b") == 0.0
+        tracker.record_access("b", now=0.0)
+        assert tracker.access_rate("b") == 0.0  # one touch: rate unknown
+        tracker.record_access("b", now=4.0)
+        assert tracker.access_count("b") == 2
+        assert tracker.access_rate("b") == pytest.approx(0.25)
+
+    def test_forget_drops_all_state(self):
+        tracker = make_tracker()
+        tracker.record_access("b", now=0.0)
+        tracker.record_access("b", now=1.0)
+        tracker.forget("b")
+        assert tracker.tracked_blocks() == ()
+        assert tracker.last_access("b") is None
+        assert tracker.ewma_interval("b") is None
+        assert tracker.access_count("b") == 0
+
+    def test_classify_all_covers_tracked_blocks(self):
+        tracker = make_tracker()
+        tracker.record_access("fresh", now=99.0)
+        tracker.record_access("stale", now=0.0)
+        table = tracker.classify_all(now=100.0)
+        assert table == {
+            "fresh": Temperature.HOT,
+            "stale": Temperature.WARM,  # age 100 is between the thresholds
+        }

@@ -1,0 +1,93 @@
+"""End-to-end tests of the ``dyrs-tiered`` scheme (acceptance criteria)."""
+
+import pytest
+
+from repro.analysis import TelemetryCollector
+from repro.experiments import common
+from repro.experiments.cli import main as cli_main
+from repro.system import SCHEMES, System, SystemConfig
+from repro.units import GB
+from repro.workloads.sort import sort_job
+
+
+class TestSchemeWiring:
+    def test_scheme_is_registered(self):
+        assert "dyrs-tiered" in SCHEMES
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scheme="bogus")
+
+    def test_tiered_system_gets_ssds_everywhere(self):
+        system = System(SystemConfig(scheme="dyrs-tiered"))
+        assert all(node.ssd is not None for node in system.cluster.nodes)
+        assert all(slave.ssd_estimator is not None for slave in system.slaves)
+
+    def test_paper_schemes_build_no_ssd_objects(self):
+        """Zero-overhead guarantee: the paper's configurations carry no
+        SSD devices, estimators, or lane processes."""
+        for scheme in ("hdfs", "ram", "dyrs", "ignem", "naive", "instant"):
+            system = System(SystemConfig(scheme=scheme))
+            assert all(node.ssd is None for node in system.cluster.nodes)
+            assert all(
+                slave.ssd_estimator is None for slave in system.slaves
+            ), scheme
+
+
+class TestSortEndToEnd:
+    @pytest.fixture(scope="class")
+    def sorted_system(self):
+        system = System(SystemConfig(scheme="dyrs-tiered")).start()
+        telemetry = TelemetryCollector(system.cluster, interval=5.0)
+        telemetry.start()
+        job = sort_job(system, size=2 * GB, job_id="sort")
+        system.runtime.run_to_completion([job])
+        return system, telemetry
+
+    def test_sort_completes(self, sorted_system):
+        system, _ = sorted_system
+        assert system.metrics.jobs["sort"].finished_at is not None
+
+    def test_blocks_observably_reach_the_ssd(self, sorted_system):
+        system, telemetry = sorted_system
+        # Demote-on-evict parked the read-once input on the flash.
+        assert len(system.namenode.ssd_directory) > 0
+        occupancy = telemetry.tier_occupancy_totals()
+        assert occupancy["ssd"].max() > 0
+        per_node = [
+            telemetry.ssd_series(node.node_id).max()
+            for node in system.cluster.nodes
+        ]
+        assert any(peak > 0 for peak in per_node)
+
+    def test_promotions_and_demotions_are_counted(self, sorted_system):
+        system, _ = sorted_system
+        assert system.metrics.promotion_count() > 0
+        assert system.metrics.demotion_count() > 0
+        assert system.metrics.tier_moves == system.master.tier_moves
+        assert ("disk", "memory") in system.master.tier_moves
+        assert ("memory", "ssd") in system.master.tier_moves
+
+
+class TestTiersFlag:
+    def test_enable_tiered_swaps_only_the_dyrs_scheme(self):
+        common.enable_tiered()
+        try:
+            assert common.tiered_enabled()
+            setup = common.PaperSetup(scheme="dyrs", n_workers=2)
+            assert common.build_system(setup).config.scheme == "dyrs-tiered"
+            baseline = common.PaperSetup(scheme="hdfs", n_workers=2)
+            assert common.build_system(baseline).config.scheme == "hdfs"
+        finally:
+            common.enable_tiered(False)
+
+    def test_cli_flag_enables_tiering(self, capsys):
+        try:
+            assert cli_main(["list", "--tiers"]) == 0
+            assert common.tiered_enabled()
+            assert "tiered storage enabled" in capsys.readouterr().out
+        finally:
+            common.enable_tiered(False)
+
+    def test_tiering_is_off_by_default(self):
+        assert not common.tiered_enabled()
