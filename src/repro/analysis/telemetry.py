@@ -82,8 +82,8 @@ class TelemetryCollector:
         utils = []
         bytes_delta = []
         for i, node in enumerate(self.cluster.nodes):
-            busy = node.disk.busy_time
-            moved = node.disk.bytes_moved
+            busy = node.disk.channel.busy_time
+            moved = node.disk.channel.bytes_moved
             utils.append(
                 min(1.0, max(0.0, (busy - self._last_busy[i]) / self.interval))
             )
@@ -94,7 +94,7 @@ class TelemetryCollector:
             TelemetrySample(
                 time=self.sim.now,
                 disk_utilization=tuple(utils),
-                memory_used=tuple(n.memory.used for n in self.cluster.nodes),
+                memory_used=tuple(n.memory.store.used for n in self.cluster.nodes),
                 disk_bytes=tuple(bytes_delta),
                 queued_tasks=(
                     self.scheduler.queued_requests
@@ -102,7 +102,7 @@ class TelemetryCollector:
                     else None
                 ),
                 ssd_used=tuple(
-                    (n.ssd.used if n.ssd is not None else 0.0)
+                    (n.ssd.store.used if n.ssd is not None else 0.0)
                     for n in self.cluster.nodes
                 ),
             )

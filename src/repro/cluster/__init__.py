@@ -7,6 +7,7 @@ background reader streams stealing disk bandwidth, either persistently
 or in alternating on/off patterns.
 """
 
+from repro.cluster.device import ByteStore, Channel, StoreFull
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.memory import MemoryStore, MemorySpec, OutOfMemory
 from repro.cluster.network import Fabric, Nic, NicSpec
@@ -22,6 +23,8 @@ from repro.cluster.interference import (
 
 __all__ = [
     "AlternatingInterference",
+    "ByteStore",
+    "Channel",
     "Cluster",
     "ClusterSpec",
     "Disk",
@@ -37,6 +40,7 @@ __all__ = [
     "OutOfMemory",
     "PersistentInterference",
     "Ssd",
+    "StoreFull",
     "SsdFull",
     "SsdSpec",
     "TraceInterference",

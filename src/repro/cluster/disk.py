@@ -1,12 +1,12 @@
 """Hard-disk model.
 
-A disk is a :class:`~repro.sim.bandwidth.BandwidthResource` with a
-nonzero seek penalty: concurrent streams cost aggregate throughput,
-which is why DYRS slaves serialize their migrations (§III-B) and why
-``dd`` interference readers (§V-C) slow everything else down.
+A disk is a :class:`~repro.cluster.device.Channel` with a nonzero seek
+penalty: concurrent streams cost aggregate throughput, which is why
+DYRS slaves serialize their migrations (§III-B) and why ``dd``
+interference readers (§V-C) slow everything else down.
 
 Reads and writes share the single actuator, so both kinds of transfer
-are flows on the same resource.  A ``read_rate_hint`` helper exposes
+are flows on the same channel.  A ``read_rate_hint`` helper exposes
 the per-stream throughput a *new* stream would currently get -- the
 quantity a bandwidth-aware scheduler would like to know but that DYRS
 deliberately *estimates from observed migration durations* instead
@@ -15,10 +15,12 @@ deliberately *estimates from observed migration durations* instead
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.sim.bandwidth import BandwidthResource, Flow
+from repro.cluster.device import Channel
+from repro.sim.bandwidth import Flow
 from repro.sim.events import Event
 from repro.units import MB
 
@@ -63,13 +65,13 @@ class DiskSpec:
 
 
 class Disk:
-    """One spinning disk on a node."""
+    """One spinning disk on a node: a seek-penalized :class:`Channel`."""
 
     def __init__(self, sim: "Simulator", spec: DiskSpec, name: str = "disk") -> None:
         self.sim = sim
         self.spec = spec
         self.name = name
-        self._resource = BandwidthResource(
+        self.channel = Channel(
             sim,
             capacity=spec.bandwidth,
             seek_penalty=spec.seek_penalty,
@@ -77,38 +79,48 @@ class Disk:
             name=name,
         )
 
+    @property
+    def _resource(self):
+        """Deprecated alias for the underlying bandwidth kernel."""
+        warnings.warn(
+            "Disk._resource is deprecated; use Disk.channel (device verbs) "
+            "or Disk.channel.kernel (raw bandwidth kernel)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.channel.kernel
+
     # -- transfers -------------------------------------------------------
 
     def read(self, nbytes: float, tag: str = "read") -> Event:
         """Start reading ``nbytes``; returns the completion event."""
-        return self._resource.transfer(nbytes, tag=tag)
+        return self.channel.transfer(nbytes, tag=tag)
 
     def write(self, nbytes: float, tag: str = "write") -> Event:
         """Start writing ``nbytes``; returns the completion event."""
-        return self._resource.transfer(nbytes, tag=tag)
+        return self.channel.transfer(nbytes, tag=tag)
 
     def start_stream(self, nbytes: float, tag: str = "stream") -> Flow:
         """Low-level flow handle (used by interference generators)."""
-        return self._resource.start_flow(nbytes, tag=tag)
+        return self.channel.start_flow(nbytes, tag=tag)
 
     def cancel_stream(self, flow: Flow) -> None:
         """Abort a flow started with :meth:`start_stream`."""
-        self._resource.cancel(flow)
+        self.channel.cancel(flow)
 
     # -- introspection -----------------------------------------------------
 
     @property
     def active_streams(self) -> int:
         """Streams currently sharing the actuator."""
-        return self._resource.active_flows
+        return self.channel.active_flows
 
     def read_rate_hint(self, extra_streams: int = 0) -> float:
         """Per-stream rate a new stream would get right now (bytes/s).
 
         Oracle knowledge -- see module docstring.
         """
-        k = self._resource.active_flows + extra_streams + 1
-        return self._resource.aggregate_rate(k) / k
+        return self.channel.rate_hint(extra_flows=extra_streams)
 
     def expected_read_time(self, nbytes: float) -> float:
         """Oracle estimate of reading ``nbytes`` under current load."""
@@ -117,7 +129,7 @@ class Disk:
     @property
     def bytes_moved(self) -> float:
         """Total bytes transferred (reads + writes)."""
-        return self._resource.bytes_moved
+        return self.channel.bytes_moved
 
     @property
     def busy_time(self) -> float:
@@ -126,11 +138,11 @@ class Disk:
         Public accessor for telemetry; interval busy fractions are
         computed from deltas of this counter.
         """
-        return self._resource.busy_time
+        return self.channel.busy_time
 
     def utilization(self, since: float = 0.0) -> float:
         """Busy fraction of wall time since ``since``."""
-        return self._resource.utilization(since)
+        return self.channel.utilization(since)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Disk {self.name!r} streams={self.active_streams}>"

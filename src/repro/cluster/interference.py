@@ -14,8 +14,9 @@ two nodes.  We reproduce both:
   patterns.
 
 Interference consumes bandwidth through ordinary flows on the node's
-disk resource, so migrations, task reads and interference all contend
-exactly like they would on a real actuator.
+disk :class:`~repro.cluster.device.Channel`, so migrations, task reads
+and interference all contend exactly like they would on a real
+actuator.
 """
 
 from __future__ import annotations
@@ -58,13 +59,13 @@ class _InterferenceBase:
         if self._flows:
             return
         self._flows = [
-            self.node.disk.start_stream(math.inf, tag=f"interference#{i}")
+            self.node.disk.channel.start_flow(math.inf, tag=f"interference#{i}")
             for i in range(self.streams)
         ]
 
     def _turn_off(self) -> None:
         for flow in self._flows:
-            self.node.disk.cancel_stream(flow)
+            self.node.disk.channel.cancel(flow)
         self._flows = []
 
     def stop(self) -> None:

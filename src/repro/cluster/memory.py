@@ -1,14 +1,17 @@
 """Node memory: the migration buffer and the memory read path.
 
 DYRS migrates blocks into the OS buffer cache with ``mmap``/``mlock``
-(§IV).  We model that cache as a byte-budgeted :class:`MemoryStore`:
+(§IV).  We model that cache with the unified device vocabulary
+(:mod:`repro.cluster.device`): a :class:`MemoryStore` is a
+:class:`~repro.cluster.device.ByteStore` budget plus a very fast
+read :class:`~repro.cluster.device.Channel`:
 
 * ``pin(key, nbytes)`` accounts for a migrated block (the data itself
   is irrelevant to the simulation);
 * ``unpin(key)`` releases it (the ``munmap`` in §IV -- read-only data
   is simply discarded);
-* reads of pinned data go through a very fast bandwidth resource; the
-  paper measured memory block reads ~160x faster than disk at the
+* reads of pinned data go through the read channel; the paper
+  measured memory block reads ~160x faster than disk at the
   application level (§I), which is our default ratio.
 
 The store also samples its usage over time so Fig 7 (per-server memory
@@ -17,10 +20,11 @@ footprint) can be reproduced.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
-from repro.sim.bandwidth import BandwidthResource
+from repro.cluster.device import ByteStore, Channel, StoreFull
 from repro.sim.events import Event
 from repro.units import GB, MB
 
@@ -30,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["MemoryStore", "MemorySpec", "OutOfMemory"]
 
 
-class OutOfMemory(RuntimeError):
+class OutOfMemory(StoreFull):
     """Raised when a ``pin`` would exceed the configured budget."""
 
 
@@ -68,35 +72,50 @@ class MemoryStore:
         self.sim = sim
         self.spec = spec
         self.name = name
-        self._pinned: dict[Hashable, float] = {}
-        self._used = 0.0
-        self._peak = 0.0
-        #: (time, used_bytes) samples, recorded on every change.
-        self.usage_samples: list[tuple[float, float]] = [(sim.now, 0.0)]
-        self._read_resource = BandwidthResource(
+        self.store = ByteStore(
+            sim, capacity=spec.capacity, name=name, full_error=OutOfMemory
+        )
+        self.read_channel = Channel(
             sim, capacity=spec.read_bandwidth, seek_penalty=0.0, name=f"{name}.read"
         )
+
+    @property
+    def _read_resource(self):
+        """Deprecated alias for the read channel's bandwidth kernel."""
+        warnings.warn(
+            "MemoryStore._read_resource is deprecated; use "
+            "MemoryStore.read_channel (device verbs) or "
+            "MemoryStore.read_channel.kernel (raw bandwidth kernel)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.read_channel.kernel
 
     # -- budget ------------------------------------------------------------
 
     @property
     def used(self) -> float:
         """Bytes currently pinned."""
-        return self._used
+        return self.store.used
 
     @property
     def free(self) -> float:
         """Bytes available before hitting the budget."""
-        return self.spec.capacity - self._used
+        return self.store.free
 
     @property
     def peak(self) -> float:
         """High-water mark of :attr:`used`."""
-        return self._peak
+        return self.store.peak
+
+    @property
+    def usage_samples(self) -> list[tuple[float, float]]:
+        """(time, used_bytes) samples, recorded on every change."""
+        return self.store.usage_samples
 
     def fits(self, nbytes: float) -> bool:
         """Whether ``nbytes`` can currently be pinned."""
-        return nbytes <= self.free + 1e-9
+        return self.store.fits(nbytes)
 
     # -- pinning -------------------------------------------------------------
 
@@ -114,21 +133,7 @@ class MemoryStore:
             If ``key`` is already pinned (double migration is a
             protocol bug upstream).
         """
-        if nbytes < 0:
-            raise ValueError(f"negative pin size: {nbytes}")
-        if key in self._pinned:
-            raise KeyError(f"{key!r} already pinned in {self.name!r}")
-        if not self.fits(nbytes):
-            raise OutOfMemory(
-                f"{self.name}: pin of {nbytes:.0f}B exceeds budget "
-                f"({self._used:.0f}/{self.spec.capacity:.0f}B used)"
-            )
-        self._pinned[key] = nbytes
-        # Recompute instead of accumulating so float residue cannot
-        # build up across many pin/unpin cycles.
-        self._used = sum(self._pinned.values())
-        self._peak = max(self._peak, self._used)
-        self.usage_samples.append((self.sim.now, self._used))
+        self.store.pin(key, nbytes)
 
     def unpin(self, key: Hashable) -> float:
         """Release the bytes pinned under ``key``; returns the size.
@@ -137,36 +142,32 @@ class MemoryStore:
         idempotent because explicit and implicit eviction can race
         (§III-C3).
         """
-        nbytes = self._pinned.pop(key, 0.0)
-        if nbytes:
-            self._used = sum(self._pinned.values())
-            self.usage_samples.append((self.sim.now, self._used))
-        return nbytes
+        return self.store.unpin(key)
 
     def is_pinned(self, key: Hashable) -> bool:
         """Whether ``key`` currently resides in memory."""
-        return key in self._pinned
+        return self.store.is_pinned(key)
 
     def pinned_keys(self) -> tuple[Hashable, ...]:
         """Keys currently pinned (insertion order)."""
-        return tuple(self._pinned)
+        return self.store.pinned_keys()
 
     # -- read path -----------------------------------------------------------
 
     def read(self, nbytes: float, tag: str = "mem-read") -> Event:
         """Serve ``nbytes`` from memory; returns the completion event."""
-        return self._read_resource.transfer(nbytes, tag=tag)
+        return self.read_channel.transfer(nbytes, tag=tag)
 
     def start_read(self, nbytes: float, tag: str = "mem-read"):
         """Flow-returning variant of :meth:`read` (cancellable)."""
-        return self._read_resource.start_flow(nbytes, tag=tag)
+        return self.read_channel.start_flow(nbytes, tag=tag)
 
     def cancel_read(self, flow) -> None:
         """Abort a flow from :meth:`start_read`."""
-        self._read_resource.cancel(flow)
+        self.read_channel.cancel(flow)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<MemoryStore {self.name!r} used={self._used:.3g}/"
-            f"{self.spec.capacity:.3g}B pins={len(self._pinned)}>"
+            f"<MemoryStore {self.name!r} used={self.used:.3g}/"
+            f"{self.spec.capacity:.3g}B pins={len(self.pinned_keys())}>"
         )

@@ -2,9 +2,9 @@
 
 The paper's testbed has a 10 Gbps network between 8 servers (§V-A) --
 small enough that the fabric core is never the bottleneck, so we model
-only NIC capacity.  Each node has one full-duplex NIC: an egress and an
-ingress :class:`~repro.sim.bandwidth.BandwidthResource` (no seek
-penalty -- packet-switched links share cleanly).
+only NIC capacity.  Each node has one full-duplex NIC: an egress and
+an ingress :class:`~repro.cluster.device.Channel` (no seek penalty --
+packet-switched links share cleanly).
 
 Transfer charging
 -----------------
@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.sim.bandwidth import BandwidthResource
+from repro.cluster.device import Channel
 from repro.sim.events import Event
 from repro.units import Gbps
 
@@ -55,18 +55,14 @@ class NicSpec:
 
 
 class Nic:
-    """A full-duplex NIC: independent egress and ingress resources."""
+    """A full-duplex NIC: independent egress and ingress channels."""
 
     def __init__(self, sim: "Simulator", spec: NicSpec, name: str = "nic") -> None:
         self.sim = sim
         self.spec = spec
         self.name = name
-        self.egress = BandwidthResource(
-            sim, capacity=spec.bandwidth, name=f"{name}.egress"
-        )
-        self.ingress = BandwidthResource(
-            sim, capacity=spec.bandwidth, name=f"{name}.ingress"
-        )
+        self.egress = Channel(sim, capacity=spec.bandwidth, name=f"{name}.egress")
+        self.ingress = Channel(sim, capacity=spec.bandwidth, name=f"{name}.ingress")
 
     def send(self, nbytes: float, tag: str = "send") -> Event:
         """Charge an egress transfer (source-charged remote read)."""
@@ -92,12 +88,12 @@ class Fabric:
     """The cluster interconnect.
 
     Single-rack clusters (the paper's testbed) are full-bisection: the
-    fabric only routes a transfer to the right NIC resource.  With
-    ``n_racks > 1`` each rack gets a pair of uplink resources (up and
+    fabric only routes a transfer to the right NIC channel.  With
+    ``n_racks > 1`` each rack gets a pair of uplink channels (up and
     down through its ToR switch) and cross-rack transfers additionally
     traverse both racks' uplinks -- the standard oversubscription
     model.  A pipelined cross-rack transfer runs at the minimum share
-    along its path, which we model by charging all path resources
+    along its path, which we model by charging all path channels
     concurrently and completing when the slowest does.
     """
 
@@ -111,14 +107,14 @@ class Fabric:
             raise ValueError(f"n_racks must be >= 1, got {n_racks}")
         self.sim = sim
         self.n_racks = n_racks
-        self.uplinks: dict[int, BandwidthResource] = {}
-        self.downlinks: dict[int, BandwidthResource] = {}
+        self.uplinks: dict[int, Channel] = {}
+        self.downlinks: dict[int, Channel] = {}
         if n_racks > 1:
             for rack in range(n_racks):
-                self.uplinks[rack] = BandwidthResource(
+                self.uplinks[rack] = Channel(
                     sim, capacity=rack_uplink_bandwidth, name=f"rack{rack}.up"
                 )
-                self.downlinks[rack] = BandwidthResource(
+                self.downlinks[rack] = Channel(
                     sim, capacity=rack_uplink_bandwidth, name=f"rack{rack}.down"
                 )
 

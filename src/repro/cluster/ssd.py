@@ -7,24 +7,26 @@ OctopusFS-style multi-tier management: warm data that does not justify
 RAM residency still reads several times faster than from the spinning
 disk.
 
-An :class:`Ssd` therefore combines the two halves its neighbours model
-separately:
+In the unified device vocabulary (:mod:`repro.cluster.device`) an
+:class:`Ssd` is simply *both* primitives at once:
 
-* like :class:`~repro.cluster.memory.MemoryStore` it is a byte budget
-  with ``pin``/``unpin`` residency accounting (an SSD cache partition,
-  not the boot volume);
-* like :class:`~repro.cluster.disk.Disk` it charges transfers on a
-  shared :class:`~repro.sim.bandwidth.BandwidthResource` -- flash has
-  no seek arm, so the default concurrency penalty is tiny, but the
+* a :class:`~repro.cluster.device.ByteStore` with ``pin``/``unpin``
+  residency accounting (an SSD cache partition, not the boot volume),
+  like :class:`~repro.cluster.memory.MemoryStore`;
+* a shared :class:`~repro.cluster.device.Channel` charging every
+  transfer, like :class:`~repro.cluster.disk.Disk` -- flash has no
+  seek arm, so the default concurrency penalty is tiny, but the
   controller channel is still finite.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
-from repro.sim.bandwidth import BandwidthResource, Flow
+from repro.cluster.device import ByteStore, Channel, StoreFull
+from repro.sim.bandwidth import Flow
 from repro.sim.events import Event
 from repro.units import GB, MB
 
@@ -34,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Ssd", "SsdSpec", "SsdFull"]
 
 
-class SsdFull(RuntimeError):
+class SsdFull(StoreFull):
     """Raised when a ``pin`` would exceed the SSD cache budget."""
 
 
@@ -77,18 +79,16 @@ class SsdSpec:
 
 
 class Ssd:
-    """One SSD cache device on a node."""
+    """One SSD cache device on a node: a budget plus a channel."""
 
     def __init__(self, sim: "Simulator", spec: SsdSpec, name: str = "ssd") -> None:
         self.sim = sim
         self.spec = spec
         self.name = name
-        self._pinned: dict[Hashable, float] = {}
-        self._used = 0.0
-        self._peak = 0.0
-        #: (time, used_bytes) samples, recorded on every change.
-        self.usage_samples: list[tuple[float, float]] = [(sim.now, 0.0)]
-        self._resource = BandwidthResource(
+        self.store = ByteStore(
+            sim, capacity=spec.capacity, name=name, full_error=SsdFull
+        )
+        self.channel = Channel(
             sim,
             capacity=spec.bandwidth,
             seek_penalty=spec.seek_penalty,
@@ -96,26 +96,42 @@ class Ssd:
             name=name,
         )
 
+    @property
+    def _resource(self):
+        """Deprecated alias for the underlying bandwidth kernel."""
+        warnings.warn(
+            "Ssd._resource is deprecated; use Ssd.channel (device verbs) "
+            "or Ssd.channel.kernel (raw bandwidth kernel)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.channel.kernel
+
     # -- budget ------------------------------------------------------------
 
     @property
     def used(self) -> float:
         """Bytes currently pinned."""
-        return self._used
+        return self.store.used
 
     @property
     def free(self) -> float:
         """Bytes available before hitting the budget."""
-        return self.spec.capacity - self._used
+        return self.store.free
 
     @property
     def peak(self) -> float:
         """High-water mark of :attr:`used`."""
-        return self._peak
+        return self.store.peak
+
+    @property
+    def usage_samples(self) -> list[tuple[float, float]]:
+        """(time, used_bytes) samples, recorded on every change."""
+        return self.store.usage_samples
 
     def fits(self, nbytes: float) -> bool:
         """Whether ``nbytes`` can currently be pinned."""
-        return nbytes <= self.free + 1e-9
+        return self.store.fits(nbytes)
 
     # -- residency ---------------------------------------------------------
 
@@ -126,19 +142,7 @@ class Ssd:
         ``KeyError`` on double pins, mirroring
         :meth:`repro.cluster.memory.MemoryStore.pin`.
         """
-        if nbytes < 0:
-            raise ValueError(f"negative pin size: {nbytes}")
-        if key in self._pinned:
-            raise KeyError(f"{key!r} already pinned in {self.name!r}")
-        if not self.fits(nbytes):
-            raise SsdFull(
-                f"{self.name}: pin of {nbytes:.0f}B exceeds budget "
-                f"({self._used:.0f}/{self.spec.capacity:.0f}B used)"
-            )
-        self._pinned[key] = nbytes
-        self._used = sum(self._pinned.values())
-        self._peak = max(self._peak, self._used)
-        self.usage_samples.append((self.sim.now, self._used))
+        self.store.pin(key, nbytes)
 
     def unpin(self, key: Hashable) -> float:
         """Release the bytes pinned under ``key``; returns the size.
@@ -146,61 +150,57 @@ class Ssd:
         Idempotent for the same reason memory eviction is: explicit and
         implicit tier demotion can race.
         """
-        nbytes = self._pinned.pop(key, 0.0)
-        if nbytes:
-            self._used = sum(self._pinned.values())
-            self.usage_samples.append((self.sim.now, self._used))
-        return nbytes
+        return self.store.unpin(key)
 
     def is_pinned(self, key: Hashable) -> bool:
         """Whether ``key`` currently resides on this SSD."""
-        return key in self._pinned
+        return self.store.is_pinned(key)
 
     def pinned_keys(self) -> tuple[Hashable, ...]:
         """Keys currently pinned (insertion order)."""
-        return tuple(self._pinned)
+        return self.store.pinned_keys()
 
     # -- transfers ---------------------------------------------------------
 
     def read(self, nbytes: float, tag: str = "ssd-read") -> Event:
         """Start reading ``nbytes``; returns the completion event."""
-        return self._resource.transfer(nbytes, tag=tag)
+        return self.channel.transfer(nbytes, tag=tag)
 
     def write(self, nbytes: float, tag: str = "ssd-write") -> Event:
         """Start writing ``nbytes``; returns the completion event."""
-        return self._resource.transfer(nbytes, tag=tag)
+        return self.channel.transfer(nbytes, tag=tag)
 
     def start_read(self, nbytes: float, tag: str = "ssd-read") -> Flow:
         """Flow-returning variant of :meth:`read` (cancellable)."""
-        return self._resource.start_flow(nbytes, tag=tag)
+        return self.channel.start_flow(nbytes, tag=tag)
 
     def cancel_read(self, flow: Flow) -> None:
         """Abort a flow started with :meth:`start_read`."""
-        self._resource.cancel(flow)
+        self.channel.cancel(flow)
 
     # -- introspection -----------------------------------------------------
 
     @property
     def active_streams(self) -> int:
         """Streams currently sharing the controller channel."""
-        return self._resource.active_flows
+        return self.channel.active_flows
 
     @property
     def bytes_moved(self) -> float:
         """Total bytes transferred (reads + writes)."""
-        return self._resource.bytes_moved
+        return self.channel.bytes_moved
 
     @property
     def busy_time(self) -> float:
         """Cumulative seconds the device spent with active flows."""
-        return self._resource.busy_time
+        return self.channel.busy_time
 
     def utilization(self, since: float = 0.0) -> float:
         """Busy fraction of wall time since ``since``."""
-        return self._resource.utilization(since)
+        return self.channel.utilization(since)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<Ssd {self.name!r} used={self._used:.3g}/"
+            f"<Ssd {self.name!r} used={self.used:.3g}/"
             f"{self.spec.capacity:.3g}B streams={self.active_streams}>"
         )

@@ -58,19 +58,20 @@ class DyrsSlave:
         self.config = config
         self.sim = datanode.node.sim
         #: Disk-lane estimator -- the ``estMigrationTime`` of §IV-A and
-        #: the load signal Algorithm 1 consumes.
+        #: the load signal Algorithm 1 consumes.  Seeded from the
+        #: migration lane's channel capacity (the unloaded rate).
         self.estimator = MigrationTimeEstimator(
-            initial_rate=self.node.spec.disk.bandwidth,
+            initial_rate=self.node.disk.channel.capacity,
             alpha=config.ewma_alpha,
         )
         #: SSD-lane estimator (tiered extension); None on SSD-less
         #: nodes so the paper's configurations build nothing extra.
         self.ssd_estimator: Optional[MigrationTimeEstimator] = (
             MigrationTimeEstimator(
-                initial_rate=self.node.spec.ssd.bandwidth,
+                initial_rate=self.node.ssd.channel.capacity,
                 alpha=config.ewma_alpha,
             )
-            if self.node.spec.ssd is not None
+            if self.node.ssd is not None
             else None
         )
         self._queue: deque[MigrationRecord] = deque()
@@ -99,7 +100,7 @@ class DyrsSlave:
         if self.config.queue_depth is not None:
             return self.config.queue_depth
         best_block_time = (
-            self.config.reference_block_size / self.node.spec.disk.bandwidth
+            self.config.reference_block_size / self.node.disk.channel.capacity
         )
         return max(1, math.ceil(self.config.heartbeat_interval / best_block_time))
 

@@ -195,12 +195,12 @@ class DataNode:
             self.node.nic.egress.cancel(flows[0])
             if cluster is not None:
                 for i, flow in enumerate(flows[1:]):
-                    resource = (
+                    channel = (
                         cluster.fabric.uplinks[self.node.rack_id]
                         if i == 0
                         else cluster.fabric.downlinks[cluster.rack_of(reader_node)]
                     )
-                    resource.cancel(flow)
+                    channel.cancel(flow)
 
         return event, cancel
 
@@ -216,8 +216,8 @@ class DataNode:
         if self.has_memory_replica(block.block_id):
             if reader_node == self.node_id:
                 source = ReadSource.LOCAL_MEMORY
-                flow = self.node.memory.start_read(block.size, tag=tag)
-                cancel = lambda: self.node.memory.cancel_read(flow)  # noqa: E731
+                flow = self.node.memory.read_channel.start_flow(block.size, tag=tag)
+                cancel = lambda: self.node.memory.read_channel.cancel(flow)  # noqa: E731
                 event = flow.done
             else:
                 source = ReadSource.REMOTE_MEMORY
@@ -233,8 +233,8 @@ class DataNode:
                 if reader_node == self.node_id
                 else ReadSource.REMOTE_SSD
             )
-            flow = self.node.ssd.start_read(block.size, tag=tag)
-            cancel = lambda: self.node.ssd.cancel_read(flow)  # noqa: E731
+            flow = self.node.ssd.channel.start_flow(block.size, tag=tag)
+            cancel = lambda: self.node.ssd.channel.cancel(flow)  # noqa: E731
             event = flow.done
         elif self.has_disk_replica(block.block_id):
             source = (
@@ -242,8 +242,8 @@ class DataNode:
                 if reader_node == self.node_id
                 else ReadSource.REMOTE_DISK
             )
-            flow = self.node.disk.start_stream(block.size, tag=tag)
-            cancel = lambda: self.node.disk.cancel_stream(flow)  # noqa: E731
+            flow = self.node.disk.channel.start_flow(block.size, tag=tag)
+            cancel = lambda: self.node.disk.channel.cancel(flow)  # noqa: E731
             event = flow.done
         else:
             raise KeyError(

@@ -17,33 +17,76 @@ This is exactly the effect DYRS exploits and defends against: the paper
 serializes slave migrations "to limit disk read concurrency" (§III-B),
 and interference (``dd`` readers) steals shares of the same resource.
 
-Implementation
---------------
+Implementation: virtual-time processor sharing
+----------------------------------------------
 
-The resource keeps per-flow remaining byte counts and one scheduled
-*completion wake-up* for the earliest-finishing flow.  On any
-membership change (flow starts, completes, or is cancelled) the
-resource first *advances* every flow's progress using the rate that
-held since the last update, then reschedules the wake-up.  Work is
-conserved: total bytes delivered equals the integral of the aggregate
-rate over time, regardless of how flows come and go.
+Because every active flow receives the *same* instantaneous rate, the
+whole resource can be described by one scalar: the cumulative per-flow
+service integral
+
+.. math::
+
+    S(t) = \\int_0^t \\frac{\\text{aggregate}(k(\\tau))}{k(\\tau)} \\, d\\tau
+
+(bytes delivered to any flow continuously active over the window).  A
+flow that starts at time ``t0`` records its *service offset*
+``S(t0)``; its remaining bytes at any later instant are
+
+    ``remaining = nbytes - (S(t) - offset)``
+
+an O(1) derivation, and it completes when ``S`` reaches its *virtual
+finish* ``offset + nbytes``.  Pending completions sit in a min-heap
+keyed by virtual finish, so a membership change (start, completion,
+cancel) costs O(log k): bump ``S`` by ``rate * dt``, adjust ``k``, and
+re-arm the earliest wake-up.  The previous implementation walked every
+active flow on every membership change -- O(k) per event, O(k²) under
+churn -- and is retained verbatim (plus bug fixes) as
+:class:`repro.sim.legacy_bandwidth.LegacyBandwidthResource`, the
+reference oracle for the kernel-equivalence property tests.
+
+Wake-ups are *generation-tagged*: every membership change increments
+the resource's generation and discards the previously armed wake-up
+via :meth:`repro.sim.engine.Simulator.discard`, so stale wake-ups
+neither fire nor rot in the scheduler heap (the engine sweeps
+discarded entries once they outnumber live ones).
+
+Work is conserved: total bytes delivered equals the integral of the
+aggregate rate over time minus the (float-residue-sized) overshoot
+refunded when a completing flow's last interval is clamped,
+regardless of how flows come and go.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from itertools import count
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.sim.events import URGENT_PRIORITY, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
-__all__ = ["BandwidthResource", "Flow", "FlowCancelled"]
+__all__ = [
+    "BandwidthResource",
+    "Flow",
+    "FlowCancelled",
+    "kernel_class",
+    "use_kernel",
+    "default_kernel",
+    "KERNEL_NAMES",
+]
 
 #: Residual-byte tolerance when deciding a flow has completed.
 _EPSILON_BYTES = 1e-6
+
+#: Known kernel implementations (see :func:`kernel_class`).
+KERNEL_NAMES = ("virtual-time", "legacy")
+
+#: Module-level default used by the device layer when no explicit
+#: kernel is requested; swap with :func:`use_kernel`.
+_DEFAULT_KERNEL = "virtual-time"
 
 
 class FlowCancelled(Exception):
@@ -61,27 +104,76 @@ class Flow:
         Total size of the transfer (may be ``inf`` for interference
         flows that run until cancelled).
     remaining:
-        Bytes still to move; updated lazily on resource events.
+        Bytes still to move; derived in O(1) from the resource's
+        service integral (read-only property).
     tag:
         Free-form label for metrics/debugging.
     """
 
-    __slots__ = ("nbytes", "remaining", "done", "tag", "started_at", "_id")
+    __slots__ = (
+        "nbytes",
+        "done",
+        "tag",
+        "started_at",
+        "_id",
+        "_offset",
+        "_vfinish",
+        "_resource",
+        "_final_remaining",
+    )
 
-    def __init__(self, sim: "Simulator", nbytes: float, tag: str, flow_id: int):
+    def __init__(
+        self,
+        sim: "Simulator",
+        nbytes: float,
+        tag: str,
+        flow_id: int,
+        resource: Optional["BandwidthResource"] = None,
+        offset: float = 0.0,
+    ):
         self.nbytes = float(nbytes)
-        self.remaining = float(nbytes)
         self.done = Event(sim, name=f"flow:{tag}")
         self.tag = tag
         self.started_at = sim.now
         self._id = flow_id
+        #: Value of the resource's service integral when this flow
+        #: started; ``remaining = nbytes - (S - offset)``.
+        self._offset = offset
+        #: Virtual finish service: the flow completes when S reaches it.
+        self._vfinish = offset + self.nbytes
+        self._resource = resource
+        #: Set when the flow detaches (completion/cancel); freezes
+        #: :attr:`remaining` at its final value.
+        self._final_remaining: Optional[float] = None
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to move (O(1); advances the owning resource)."""
+        if self._final_remaining is not None:
+            return self._final_remaining
+        if self._resource is None:
+            return self.nbytes
+        if math.isinf(self.nbytes):
+            return math.inf
+        self._resource._advance()
+        return max(0.0, self.nbytes - (self._resource._service - self._offset))
 
     @property
     def transferred(self) -> float:
-        """Bytes moved so far (as of the resource's last update)."""
+        """Bytes moved so far (including open-ended flows)."""
+        if self._final_remaining is not None and not math.isinf(self.nbytes):
+            return self.nbytes - self._final_remaining
+        if self._resource is None:
+            return 0.0
+        self._resource._advance()
+        progress = self._resource._service - self._offset
         if math.isinf(self.nbytes):
-            return self.nbytes - self.remaining if not math.isinf(self.remaining) else 0.0
-        return self.nbytes - self.remaining
+            return max(0.0, progress)
+        return min(self.nbytes, max(0.0, progress))
+
+    def _detach(self, final_remaining: float) -> None:
+        """Freeze progress as the flow leaves its resource."""
+        self._final_remaining = final_remaining
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Flow {self.tag!r} remaining={self.remaining:.3g}/{self.nbytes:.3g}>"
@@ -99,6 +191,11 @@ class BandwidthResource:
     seek_penalty:
         Per-extra-stream efficiency loss ``p`` (see module docstring).
         Typical HDD values: 0.3-1.0.  Use 0 for NICs/memory.
+    min_efficiency:
+        Aggregate-throughput floor as a fraction of capacity.  Real
+        I/O schedulers batch each stream's sequential run, so the
+        aggregate saturates under heavy concurrency instead of
+        collapsing; 0 disables the floor.
     name:
         Label for metrics.
     """
@@ -122,15 +219,20 @@ class BandwidthResource:
         self.sim = sim
         self.capacity = float(capacity)
         self.seek_penalty = float(seek_penalty)
-        #: Aggregate-throughput floor as a fraction of capacity.  Real
-        #: I/O schedulers batch each stream's sequential run, so the
-        #: aggregate saturates under heavy concurrency instead of
-        #: collapsing; 0 disables the floor.
         self.min_efficiency = float(min_efficiency)
         self.name = name
         self._flows: dict[int, Flow] = {}
         self._flow_ids = count()
         self._last_update = sim.now
+        #: The service integral S(t): cumulative bytes delivered to any
+        #: continuously active flow since resource creation.
+        self._service = 0.0
+        #: Min-heap of (virtual finish, flow id) for finite flows.
+        #: Entries for departed flows are dropped lazily by _head().
+        self._finish_heap: list[tuple[float, int]] = []
+        #: Generation counter; bumped on every membership change so
+        #: stale wake-ups identify themselves.
+        self._generation = 0
         self._wakeup: Optional[Event] = None
         # Utilization accounting (busy-time integral and bytes moved).
         self._busy_time = 0.0
@@ -142,6 +244,10 @@ class BandwidthResource:
     def active_flows(self) -> int:
         """Number of flows currently sharing the resource."""
         return len(self._flows)
+
+    def flows(self) -> Iterator[Flow]:
+        """The currently active flows (undefined order)."""
+        return iter(self._flows.values())
 
     def aggregate_rate(self, k: Optional[int] = None) -> float:
         """Aggregate throughput with ``k`` concurrent flows (bytes/s)."""
@@ -203,11 +309,21 @@ class BandwidthResource:
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
         self._advance()
-        flow = Flow(self.sim, nbytes, tag, next(self._flow_ids))
+        flow = Flow(
+            self.sim,
+            nbytes,
+            tag,
+            next(self._flow_ids),
+            resource=self,
+            offset=self._service,
+        )
         if nbytes == 0:
+            flow._detach(0.0)
             flow.done.succeed(flow)
             return flow
         self._flows[flow._id] = flow
+        if not math.isinf(flow._vfinish):
+            heapq.heappush(self._finish_heap, (flow._vfinish, flow._id))
         self._reschedule()
         return flow
 
@@ -224,47 +340,80 @@ class BandwidthResource:
             return
         self._advance()
         del self._flows[flow._id]
+        if math.isinf(flow.nbytes):
+            flow._detach(math.inf)
+        else:
+            flow._detach(
+                max(0.0, flow.nbytes - (self._service - flow._offset))
+            )
         flow.done.fail(FlowCancelled(flow.tag))
         self._reschedule()
 
     # -- engine internals --------------------------------------------------
 
     def _advance(self) -> None:
-        """Apply progress accrued since the last update."""
+        """Accrue service since the last update -- O(1).
+
+        No per-flow work: every active flow receives the same
+        ``rate * dt``, so only the service integral and the aggregate
+        byte/busy counters move.  Bytes are credited at ``k`` shares
+        per interval; the overshoot a completing flow did not actually
+        consume is refunded at completion (see :meth:`_on_wakeup`), so
+        only bytes actually delivered are ever reported.
+        """
         now = self.sim.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._flows:
+        k = len(self._flows)
+        if dt <= 0 or k == 0:
             return
-        rate = self.per_flow_rate()
-        moved = rate * dt
+        moved = (self.aggregate_rate(k) / k) * dt
+        self._service += moved
         self._busy_time += dt
-        for flow in self._flows.values():
-            if not math.isinf(flow.remaining):
-                flow.remaining = max(0.0, flow.remaining - moved)
-            self._bytes_moved += moved
+        self._bytes_moved += moved * k
+
+    def _head(self) -> Optional[Flow]:
+        """Earliest-finishing active flow (drops stale heap entries)."""
+        heap = self._finish_heap
+        while heap:
+            flow = self._flows.get(heap[0][1])
+            if flow is None:
+                heapq.heappop(heap)
+                continue
+            return flow
+        return None
+
+    def _remaining_of(self, flow: Flow) -> float:
+        """Exact residual bytes of an *attached* finite flow."""
+        return flow.nbytes - (self._service - flow._offset)
 
     def _next_completion_delay(self) -> float:
         """Seconds until the earliest flow finishes at current rates."""
-        rate = self.per_flow_rate()
-        shortest = min(
-            (f.remaining for f in self._flows.values()), default=math.inf
-        )
-        if math.isinf(shortest) or rate <= 0:
+        head = self._head()
+        if head is None:
             return math.inf
-        return shortest / rate
+        rate = self.per_flow_rate()
+        if rate <= 0:
+            return math.inf
+        return max(0.0, self._remaining_of(head)) / rate
 
     def _reschedule(self) -> None:
-        """(Re)arm the single completion wake-up."""
+        """(Re)arm the single completion wake-up.
+
+        The old wake-up (if any) is discarded from the engine heap and
+        the generation bumped, so a stale wake-up can neither fire nor
+        accumulate.
+        """
+        self._generation += 1
         if self._wakeup is not None:
-            # Invalidate the old wake-up; it will pop as a no-op.
-            self._wakeup.remove_callback(self._on_wakeup)
+            self.sim.discard(self._wakeup)
             self._wakeup = None
         delay = self._next_completion_delay()
         if math.isinf(delay):
             return
         wakeup = Event(self.sim, name=f"bw-wakeup:{self.name}")
-        wakeup.add_callback(self._on_wakeup)
+        generation = self._generation
+        wakeup.add_callback(lambda _e: self._on_wakeup(generation))
         wakeup._ok = True
         self.sim._schedule(wakeup, delay, priority=URGENT_PRIORITY)
         self._wakeup = wakeup
@@ -277,25 +426,39 @@ class BandwidthResource:
         when draining them would not advance the simulation clock at
         all, which would otherwise re-arm a zero-delay wake-up forever.
         """
-        remaining = flow.remaining
+        remaining = self._remaining_of(flow)
         if remaining <= _EPSILON_BYTES:
             return True
-        if math.isinf(remaining):
-            return False
         if remaining <= 1e-9 * flow.nbytes:
             return True
         rate = self.per_flow_rate()
         now = self.sim.now
         return rate > 0 and now + remaining / rate <= now
 
-    def _on_wakeup(self, _event: Event) -> None:
+    def _on_wakeup(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # stale wake-up that escaped discard
         self._wakeup = None
         self._advance()
-        finished = [f for f in self._flows.values() if self._is_finished(f)]
+        finished: list[Flow] = []
+        while True:
+            head = self._head()
+            if head is None or not self._is_finished(head):
+                break
+            heapq.heappop(self._finish_heap)
+            del self._flows[head._id]
+            finished.append(head)
+        # Deliver completions in flow-start order (the legacy kernel
+        # swept its insertion-ordered dict), so same-instant ties break
+        # identically.
+        finished.sort(key=lambda f: f._id)
         for flow in finished:
-            del self._flows[flow._id]
-        for flow in finished:
-            flow.remaining = 0.0
+            # Refund the share credited beyond the flow's actual size
+            # in its final interval (the clamped residue).
+            overshoot = (self._service - flow._offset) - flow.nbytes
+            if overshoot > 0:
+                self._bytes_moved -= overshoot
+            flow._detach(0.0)
             flow.done.succeed(flow)
         self._reschedule()
 
@@ -304,3 +467,56 @@ class BandwidthResource:
             f"<BandwidthResource {self.name!r} cap={self.capacity:.3g}B/s "
             f"flows={len(self._flows)}>"
         )
+
+
+# -- kernel selection -----------------------------------------------------
+
+
+def kernel_class(name: Optional[str] = None) -> type:
+    """Resolve a kernel name to its resource class.
+
+    ``"virtual-time"`` is the production kernel; ``"legacy"`` is the
+    pre-refactor O(k)-per-event implementation retained as the
+    equivalence oracle.  ``None`` resolves the module default (see
+    :func:`use_kernel`).
+    """
+    name = name or _DEFAULT_KERNEL
+    if name == "virtual-time":
+        return BandwidthResource
+    if name == "legacy":
+        from repro.sim.legacy_bandwidth import LegacyBandwidthResource
+
+        return LegacyBandwidthResource
+    raise ValueError(f"unknown bandwidth kernel {name!r}; choose from {KERNEL_NAMES}")
+
+
+def default_kernel() -> str:
+    """The kernel name the device layer currently builds by default."""
+    return _DEFAULT_KERNEL
+
+
+class use_kernel:
+    """Context manager swapping the default bandwidth kernel.
+
+    >>> with use_kernel("legacy"):
+    ...     system = System(SystemConfig(...))   # doctest: +SKIP
+
+    Only affects resources *constructed* inside the block (devices
+    resolve the default at construction time); used by the
+    cross-kernel equivalence and determinism tests.
+    """
+
+    def __init__(self, name: str) -> None:
+        kernel_class(name)  # validate eagerly
+        self.name = name
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "use_kernel":
+        global _DEFAULT_KERNEL
+        self._previous = _DEFAULT_KERNEL
+        _DEFAULT_KERNEL = self.name
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _DEFAULT_KERNEL
+        _DEFAULT_KERNEL = self._previous

@@ -38,11 +38,16 @@ class Simulator:
     [3.0]
     """
 
+    #: Minimum number of discarded entries before a heap compaction is
+    #: even considered (avoids rebuild churn on tiny heaps).
+    COMPACT_MIN_DISCARDED = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        self._n_discarded = 0
 
     # -- clock ---------------------------------------------------------
 
@@ -101,21 +106,71 @@ class Simulator:
             self._heap, (self._now + delay, priority, next(self._seq), event)
         )
 
+    def discard(self, event: Event) -> None:
+        """Cancel a scheduled event before it fires.
+
+        The event is marked dead immediately -- it will never process
+        and its callbacks never run -- and its heap slot is reclaimed
+        lazily: dropped when it surfaces at the heap top, or swept in
+        bulk once dead entries outnumber live ones (so a scheduler
+        churning through wake-ups cannot grow the heap without bound).
+        Discarding an unscheduled or already-discarded event is a
+        no-op.
+        """
+        if event._discarded or event._processed:
+            return
+        event._discarded = True
+        self._n_discarded += 1
+        if (
+            self._n_discarded >= self.COMPACT_MIN_DISCARDED
+            and self._n_discarded * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without discarded entries.
+
+        Safe at any point: entry keys ``(time, priority, seq)`` are
+        unique (``seq`` is a global counter), so the rebuilt heap pops
+        in exactly the same order as the old one.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3]._discarded]
+        heapq.heapify(self._heap)
+        self._n_discarded = 0
+
+    @property
+    def pending_events(self) -> int:
+        """Live (non-discarded) events still scheduled."""
+        return len(self._heap) - self._n_discarded
+
     # -- run loop ------------------------------------------------------
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none.
+
+        Discarded entries surfacing at the heap top are dropped here.
+        """
+        heap = self._heap
+        while heap and heap[0][3]._discarded:
+            heapq.heappop(heap)
+            self._n_discarded -= 1
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
-        """Process the single next event.
+        """Process the single next live event.
 
         Raises
         ------
         IndexError
-            If the heap is empty.
+            If no live event remains.
         """
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while True:
+            when, _prio, _seq, event = heapq.heappop(heap)
+            if event._discarded:
+                self._n_discarded -= 1
+                continue
+            break
         self._now = when
         event._process()
 
@@ -129,7 +184,7 @@ class Simulator:
         if until is not None and until < self._now:
             raise ValueError(f"run until the past: {until} < {self._now}")
         try:
-            while self._heap:
+            while self.peek() != float("inf"):
                 if until is not None and self._heap[0][0] > until:
                     break
                 self.step()
@@ -147,7 +202,7 @@ class Simulator:
             If the heap drains or ``limit`` is reached first.
         """
         while not event.processed:
-            if not self._heap or self._heap[0][0] > limit:
+            if self.peek() > limit or not self._heap:
                 raise RuntimeError(
                     f"simulation ended at t={self._now:.6g} before {event!r} processed"
                 )
@@ -157,4 +212,4 @@ class Simulator:
         raise event.value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.6g} pending={len(self._heap)}>"
+        return f"<Simulator t={self._now:.6g} pending={self.pending_events}>"

@@ -63,7 +63,15 @@ class Event:
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_processed")
+    __slots__ = (
+        "sim",
+        "name",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_processed",
+        "_discarded",
+    )
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -73,6 +81,9 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._processed = False
+        #: Set by :meth:`Simulator.discard`; a discarded event is
+        #: skipped by the run loop and reclaimed from the heap lazily.
+        self._discarded = False
 
     # -- state ---------------------------------------------------------
 

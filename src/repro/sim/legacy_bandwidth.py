@@ -1,0 +1,266 @@
+"""The pre-virtual-time bandwidth kernel, kept as the equivalence oracle.
+
+This is the original :class:`BandwidthResource` implementation: on any
+flow membership change it *advances* every active flow's remaining
+byte count by the rate that held since the last update -- O(k) per
+event, O(k²) under churn -- then rearms a single completion wake-up.
+The production kernel (:mod:`repro.sim.bandwidth`) replaced the walk
+with an O(1) virtual-time service integral; this module preserves the
+eager per-flow arithmetic so property tests can assert the two kernels
+produce the same completion times on randomized schedules.
+
+Two defects of the original are fixed here (and are absent from the
+virtual-time kernel by construction):
+
+* ``_advance`` credited the full ``rate * dt`` share to
+  ``_bytes_moved`` for every flow, even when a completing flow's
+  ``remaining`` was clamped to zero mid-interval -- over-counting the
+  clamped residue.  Only bytes actually delivered
+  (``min(moved, remaining)``) are accounted now.
+* ``_reschedule`` stripped the callback off a superseded wake-up but
+  left the dead event in the simulator heap, where churn accumulated
+  them without bound.  Superseded wake-ups are now discarded via
+  :meth:`repro.sim.engine.Simulator.discard`, which sweeps them out.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.sim.bandwidth import _EPSILON_BYTES, FlowCancelled
+from repro.sim.events import URGENT_PRIORITY, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["LegacyBandwidthResource", "LegacyFlow"]
+
+
+class LegacyFlow:
+    """One active transfer on a :class:`LegacyBandwidthResource`.
+
+    Unlike the virtual-time :class:`~repro.sim.bandwidth.Flow`, the
+    remaining byte count is stored eagerly and updated on every
+    resource event.
+    """
+
+    __slots__ = ("nbytes", "remaining", "done", "tag", "started_at", "_id")
+
+    def __init__(self, sim: "Simulator", nbytes: float, tag: str, flow_id: int):
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done = Event(sim, name=f"flow:{tag}")
+        self.tag = tag
+        self.started_at = sim.now
+        self._id = flow_id
+
+    @property
+    def transferred(self) -> float:
+        """Bytes moved so far (as of the resource's last update)."""
+        if math.isinf(self.nbytes):
+            return self.nbytes - self.remaining if not math.isinf(self.remaining) else 0.0
+        return self.nbytes - self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LegacyFlow {self.tag!r} remaining={self.remaining:.3g}/{self.nbytes:.3g}>"
+
+
+class LegacyBandwidthResource:
+    """The original eager-update fair-share resource (reference only).
+
+    Same rate law, flow API, and completion semantics as
+    :class:`repro.sim.bandwidth.BandwidthResource`; kept for the
+    kernel-equivalence property suite and the throughput benchmark's
+    before/after comparison.  New code should not construct it.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float,
+        seek_penalty: float = 0.0,
+        min_efficiency: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if seek_penalty < 0:
+            raise ValueError(f"seek_penalty must be >= 0, got {seek_penalty}")
+        if not 0 <= min_efficiency <= 1:
+            raise ValueError(
+                f"min_efficiency must be in [0, 1], got {min_efficiency}"
+            )
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.seek_penalty = float(seek_penalty)
+        self.min_efficiency = float(min_efficiency)
+        self.name = name
+        self._flows: dict[int, LegacyFlow] = {}
+        self._flow_ids = count()
+        self._last_update = sim.now
+        self._wakeup: Optional[Event] = None
+        self._busy_time = 0.0
+        self._bytes_moved = 0.0
+
+    # -- rates -----------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently sharing the resource."""
+        return len(self._flows)
+
+    def flows(self) -> Iterator[LegacyFlow]:
+        """The currently active flows (insertion order)."""
+        return iter(self._flows.values())
+
+    def aggregate_rate(self, k: Optional[int] = None) -> float:
+        """Aggregate throughput with ``k`` concurrent flows (bytes/s)."""
+        if k is None:
+            k = len(self._flows)
+        if k <= 0:
+            return 0.0
+        shared = self.capacity / (1.0 + self.seek_penalty * (k - 1))
+        return max(shared, self.capacity * self.min_efficiency)
+
+    def per_flow_rate(self) -> float:
+        """Throughput each active flow currently receives (bytes/s)."""
+        k = len(self._flows)
+        if k == 0:
+            return 0.0
+        return self.aggregate_rate(k) / k
+
+    def expected_duration(self, nbytes: float, extra_flows: int = 0) -> float:
+        """Time to move ``nbytes`` if load stayed as now plus ``extra_flows``."""
+        k = len(self._flows) + extra_flows + 1
+        rate = self.aggregate_rate(k) / k
+        return nbytes / rate
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes delivered across all completed/ongoing flows."""
+        self._advance()
+        return self._bytes_moved
+
+    @property
+    def busy_time(self) -> float:
+        """Total time the resource had at least one active flow."""
+        self._advance()
+        return self._busy_time
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall time busy since ``since``."""
+        self._advance()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / elapsed)
+
+    # -- flow control ------------------------------------------------------
+
+    def start_flow(self, nbytes: float, tag: str = "") -> LegacyFlow:
+        """Begin a transfer of ``nbytes``; returns its flow handle."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        self._advance()
+        flow = LegacyFlow(self.sim, nbytes, tag, next(self._flow_ids))
+        if nbytes == 0:
+            flow.done.succeed(flow)
+            return flow
+        self._flows[flow._id] = flow
+        self._reschedule()
+        return flow
+
+    def transfer(self, nbytes: float, tag: str = "") -> Event:
+        """Convenience: start a flow and return its completion event."""
+        return self.start_flow(nbytes, tag=tag).done
+
+    def cancel(self, flow: LegacyFlow) -> None:
+        """Abort ``flow``; its ``done`` event fails with FlowCancelled."""
+        if flow._id not in self._flows:
+            return
+        self._advance()
+        del self._flows[flow._id]
+        flow.done.fail(FlowCancelled(flow.tag))
+        self._reschedule()
+
+    # -- engine internals --------------------------------------------------
+
+    def _advance(self) -> None:
+        """Apply progress accrued since the last update (O(k))."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
+            return
+        rate = self.per_flow_rate()
+        moved = rate * dt
+        self._busy_time += dt
+        for flow in self._flows.values():
+            if math.isinf(flow.remaining):
+                self._bytes_moved += moved
+            else:
+                # Account only bytes actually delivered: a flow whose
+                # residue clamps to zero mid-interval consumed less
+                # than its full share.
+                self._bytes_moved += min(moved, flow.remaining)
+                flow.remaining = max(0.0, flow.remaining - moved)
+
+    def _next_completion_delay(self) -> float:
+        """Seconds until the earliest flow finishes at current rates."""
+        rate = self.per_flow_rate()
+        shortest = min(
+            (f.remaining for f in self._flows.values()), default=math.inf
+        )
+        if math.isinf(shortest) or rate <= 0:
+            return math.inf
+        return shortest / rate
+
+    def _reschedule(self) -> None:
+        """(Re)arm the single completion wake-up."""
+        if self._wakeup is not None:
+            # Discard, not just strip the callback: a merely-orphaned
+            # event would rot in the simulator heap under churn.
+            self.sim.discard(self._wakeup)
+            self._wakeup = None
+        delay = self._next_completion_delay()
+        if math.isinf(delay):
+            return
+        wakeup = Event(self.sim, name=f"bw-wakeup:{self.name}")
+        wakeup.add_callback(self._on_wakeup)
+        wakeup._ok = True
+        self.sim._schedule(wakeup, delay, priority=URGENT_PRIORITY)
+        self._wakeup = wakeup
+
+    def _is_finished(self, flow: LegacyFlow) -> bool:
+        """Completion test robust to float residue."""
+        remaining = flow.remaining
+        if remaining <= _EPSILON_BYTES:
+            return True
+        if math.isinf(remaining):
+            return False
+        if remaining <= 1e-9 * flow.nbytes:
+            return True
+        rate = self.per_flow_rate()
+        now = self.sim.now
+        return rate > 0 and now + remaining / rate <= now
+
+    def _on_wakeup(self, _event: Event) -> None:
+        self._wakeup = None
+        self._advance()
+        finished = [f for f in self._flows.values() if self._is_finished(f)]
+        for flow in finished:
+            del self._flows[flow._id]
+        for flow in finished:
+            flow.remaining = 0.0
+            flow.done.succeed(flow)
+        self._reschedule()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LegacyBandwidthResource {self.name!r} cap={self.capacity:.3g}B/s "
+            f"flows={len(self._flows)}>"
+        )

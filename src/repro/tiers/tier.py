@@ -3,11 +3,18 @@
 DYRS hard-codes a two-level hierarchy (disk below, RAM above).  This
 module generalizes the rungs into a uniform facade so the lifecycle
 policies in :mod:`repro.tiers.policy` can reason about *any* pair of
-adjacent tiers with the same code: every tier reports capacity,
-occupancy, and a nominal per-byte read cost, and exposes the transfer
-primitives of the device it wraps.  Queueing/contention behaviour comes
-from the wrapped devices' existing bandwidth resources -- a tier adds
-no second model of the hardware.
+adjacent tiers with the same code.
+
+A rung is described entirely in the unified device vocabulary
+(:mod:`repro.cluster.device`): an optional
+:class:`~repro.cluster.device.ByteStore` for residency accounting and
+an optional :class:`~repro.cluster.device.Channel` for read transfers.
+The base class implements the whole tier protocol over that pair --
+capacity, occupancy, pin/unpin, reads, nominal read cost -- and the
+subclasses only bind a concrete device and define what a *write*
+charges.  Queueing/contention behaviour comes from the wrapped
+devices' existing channels -- a tier adds no second model of the
+hardware.
 
 Tiers are ordered by :data:`TIER_ORDER` (``disk`` < ``ssd`` <
 ``memory``); moving a block to a higher rung is a *promotion*, to a
@@ -20,6 +27,7 @@ import math
 from typing import TYPE_CHECKING, Hashable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.device import ByteStore, Channel
     from repro.cluster.disk import Disk
     from repro.cluster.memory import MemoryStore
     from repro.cluster.node import Node
@@ -48,59 +56,87 @@ def is_promotion(source: str, dest: str) -> bool:
 class StorageTier:
     """Uniform facade over one node-local storage rung.
 
-    Subclasses wrap a concrete device and implement residency
-    accounting plus the read/write primitives.  The base class carries
-    the shared vocabulary (name, rank, cost model) so policies never
-    need to know which device they are looking at.
+    Parameters
+    ----------
+    store:
+        Residency budget, or None for a tier whose residency is
+        managed elsewhere (disk replicas live in the DFS block map):
+        then pins are no-ops and capacity is infinite.
+    channel:
+        Read channel, or None for a tier with no read path of its own.
+
+    Policies never need to know which device a tier wraps; everything
+    below is expressed against the (store, channel) pair.
     """
 
     #: Tier name, one of :data:`TIER_ORDER`.
     name: str = ""
+
+    def __init__(
+        self,
+        store: Optional["ByteStore"] = None,
+        channel: Optional["Channel"] = None,
+    ) -> None:
+        self.store = store
+        self.channel = channel
 
     @property
     def rank(self) -> int:
         """Position in the ladder (higher is faster)."""
         return TIER_ORDER.index(self.name)
 
-    # -- residency (overridden) --------------------------------------------
+    # -- residency ---------------------------------------------------------
 
     @property
     def capacity(self) -> float:
-        raise NotImplementedError
+        return self.store.capacity if self.store is not None else math.inf
 
     @property
     def used(self) -> float:
-        raise NotImplementedError
+        return self.store.used if self.store is not None else 0.0
 
     @property
     def free(self) -> float:
         return self.capacity - self.used
 
     def fits(self, nbytes: float) -> bool:
-        return nbytes <= self.free + 1e-9
+        if self.store is None:
+            return True
+        return self.store.fits(nbytes)
 
     def pin(self, key: Hashable, nbytes: float) -> None:
-        raise NotImplementedError
+        if self.store is not None:
+            self.store.pin(key, nbytes)
 
     def unpin(self, key: Hashable) -> float:
-        raise NotImplementedError
+        if self.store is None:
+            return 0.0
+        return self.store.unpin(key)
 
     def is_resident(self, key: Hashable) -> bool:
-        raise NotImplementedError
+        if self.store is None:
+            return False
+        return self.store.is_pinned(key)
 
     def resident_keys(self) -> tuple[Hashable, ...]:
-        raise NotImplementedError
+        if self.store is None:
+            return ()
+        return self.store.pinned_keys()
 
-    # -- I/O (overridden) ---------------------------------------------------
+    # -- I/O ---------------------------------------------------------------
 
     @property
     def read_bandwidth(self) -> float:
         """Nominal unloaded read throughput, bytes/second."""
-        raise NotImplementedError
+        if self.channel is None:
+            raise NotImplementedError(f"{type(self).__name__} has no read channel")
+        return self.channel.capacity
 
     def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
         """Start a read of ``nbytes``; returns the completion event."""
-        raise NotImplementedError
+        if self.channel is None:
+            raise NotImplementedError(f"{type(self).__name__} has no read channel")
+        return self.channel.transfer(nbytes, tag=tag)
 
     def write(self, nbytes: float, tag: str = "tier-write") -> Optional["Event"]:
         """Start a write of ``nbytes``; None when the tier's writes are
@@ -127,45 +163,16 @@ class DiskTier(StorageTier):
     """The bottom rung: the node's spinning disk.
 
     Disk replicas are the DFS's ground truth -- they are never "pinned"
-    or evicted by tier lifecycle, so residency here is a no-op with
-    infinite capacity; the tier exists to give the ladder a floor and
-    the cost model a disk entry.
+    or evicted by tier lifecycle, so there is no store (residency is a
+    no-op with infinite capacity); the tier exists to give the ladder a
+    floor and the cost model a disk entry.
     """
 
     name = "disk"
 
     def __init__(self, disk: "Disk") -> None:
+        super().__init__(store=None, channel=disk.channel)
         self.disk = disk
-
-    @property
-    def capacity(self) -> float:
-        return math.inf
-
-    @property
-    def used(self) -> float:
-        return 0.0
-
-    def fits(self, nbytes: float) -> bool:
-        return True
-
-    def pin(self, key: Hashable, nbytes: float) -> None:
-        pass  # disk replicas are managed by the DFS block map
-
-    def unpin(self, key: Hashable) -> float:
-        return 0.0
-
-    def is_resident(self, key: Hashable) -> bool:
-        return False
-
-    def resident_keys(self) -> tuple[Hashable, ...]:
-        return ()
-
-    @property
-    def read_bandwidth(self) -> float:
-        return self.disk.spec.bandwidth
-
-    def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
-        return self.disk.read(nbytes, tag=tag)
 
     def write(self, nbytes: float, tag: str = "tier-write") -> "Event":
         return self.disk.write(nbytes, tag=tag)
@@ -177,34 +184,8 @@ class SsdTier(StorageTier):
     name = "ssd"
 
     def __init__(self, ssd: "Ssd") -> None:
+        super().__init__(store=ssd.store, channel=ssd.channel)
         self.ssd = ssd
-
-    @property
-    def capacity(self) -> float:
-        return self.ssd.spec.capacity
-
-    @property
-    def used(self) -> float:
-        return self.ssd.used
-
-    def pin(self, key: Hashable, nbytes: float) -> None:
-        self.ssd.pin(key, nbytes)
-
-    def unpin(self, key: Hashable) -> float:
-        return self.ssd.unpin(key)
-
-    def is_resident(self, key: Hashable) -> bool:
-        return self.ssd.is_pinned(key)
-
-    def resident_keys(self) -> tuple[Hashable, ...]:
-        return self.ssd.pinned_keys()
-
-    @property
-    def read_bandwidth(self) -> float:
-        return self.ssd.spec.bandwidth
-
-    def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
-        return self.ssd.read(nbytes, tag=tag)
 
     def write(self, nbytes: float, tag: str = "tier-write") -> "Event":
         return self.ssd.write(nbytes, tag=tag)
@@ -216,34 +197,8 @@ class MemoryTier(StorageTier):
     name = "memory"
 
     def __init__(self, memory: "MemoryStore") -> None:
+        super().__init__(store=memory.store, channel=memory.read_channel)
         self.memory = memory
-
-    @property
-    def capacity(self) -> float:
-        return self.memory.spec.capacity
-
-    @property
-    def used(self) -> float:
-        return self.memory.used
-
-    def pin(self, key: Hashable, nbytes: float) -> None:
-        self.memory.pin(key, nbytes)
-
-    def unpin(self, key: Hashable) -> float:
-        return self.memory.unpin(key)
-
-    def is_resident(self, key: Hashable) -> bool:
-        return self.memory.is_pinned(key)
-
-    def resident_keys(self) -> tuple[Hashable, ...]:
-        return self.memory.pinned_keys()
-
-    @property
-    def read_bandwidth(self) -> float:
-        return self.memory.spec.read_bandwidth
-
-    def read(self, nbytes: float, tag: str = "tier-read") -> "Event":
-        return self.memory.read(nbytes, tag=tag)
 
     def write(self, nbytes: float, tag: str = "tier-write") -> None:
         return None  # pinning is the write; mlock charges no transfer

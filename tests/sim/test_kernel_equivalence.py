@@ -1,0 +1,202 @@
+"""Equivalence of the virtual-time kernel and the legacy oracle.
+
+The virtual-time kernel (`repro.sim.bandwidth.BandwidthResource`)
+derives each flow's remaining bytes from a global service integral;
+the legacy kernel (`repro.sim.legacy_bandwidth`) updates every flow
+eagerly.  Both implement the same processor-sharing model, so on any
+schedule of flow arrivals, sizes, and cancellations they must produce
+the same completion times -- up to floating-point reassociation, which
+is why the contract is 1e-9 relative rather than bitwise (see
+DESIGN.md §5).
+
+Also here: the regression tests for the two accounting defects fixed
+in this refactor -- ``_bytes_moved`` over-counting clamped residue,
+and superseded wake-ups leaking into the simulator heap.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.bandwidth import BandwidthResource, kernel_class, use_kernel
+from repro.sim.legacy_bandwidth import LegacyBandwidthResource
+
+N_SCHEDULES = 200
+
+
+def make_schedule(seed: int):
+    """One random flow arrival/size/cancel schedule."""
+    rng = random.Random(seed)
+    capacity = rng.choice([10.0, 100.0, 150e6])
+    seek_penalty = rng.choice([0.0, 0.02, 0.35, round(rng.uniform(0.0, 1.0), 3)])
+    min_efficiency = rng.choice([0.0, 0.1, 0.5])
+    n = rng.randint(2, 12)
+    ops = []
+    for i in range(n):
+        start = round(rng.uniform(0.0, 50.0), 6)
+        size = round(rng.uniform(0.001, 10.0), 6) * capacity
+        ops.append(("start", start, i, size))
+        if rng.random() < 0.25:
+            ops.append(("cancel", round(rng.uniform(start, 60.0), 6), i, 0.0))
+    # Sort by time; starts before cancels at ties so a cancel can hit
+    # the flow started at the same instant.
+    ops.sort(key=lambda op: (op[1], op[0] != "start", op[2]))
+    return capacity, seek_penalty, min_efficiency, ops
+
+
+def run_schedule(kernel_name: str, schedule):
+    """Execute a schedule on the named kernel.
+
+    Returns (completion times of finished flows, cancel times of
+    cancelled flows, total delivered bytes, kernel bytes_moved).
+    """
+    capacity, seek_penalty, min_efficiency, ops = schedule
+    sim = Simulator()
+    res = kernel_class(kernel_name)(
+        sim,
+        capacity=capacity,
+        seek_penalty=seek_penalty,
+        min_efficiency=min_efficiency,
+        name="dev",
+    )
+    flows = {}
+    finished = {}
+    cancelled = {}
+    delivered = []
+
+    def start(i, size):
+        flow = res.start_flow(size, tag=f"f{i}")
+        flows[i] = flow
+
+        def on_done(event, i=i):
+            if event.ok:
+                finished[i] = sim.now
+                delivered.append(flows[i].nbytes)
+            else:
+                cancelled[i] = sim.now
+
+        flow.done.add_callback(on_done)
+
+    def cancel(i):
+        flow = flows.get(i)
+        if flow is not None and flow._id in res._flows:
+            res.cancel(flow)
+            # Read progress after cancel: cancel advances the
+            # resource, so the legacy kernel's eager `remaining` is
+            # fresh (the virtual-time kernel freezes it on detach).
+            delivered.append(flow.transferred)
+
+    for op, t, i, size in ops:
+        if op == "start":
+            sim.call_at(t, lambda i=i, size=size: start(i, size))
+        else:
+            sim.call_at(t, lambda i=i: cancel(i))
+    sim.run()
+    return finished, cancelled, sum(delivered), res.bytes_moved
+
+
+@pytest.mark.parametrize("seed", range(N_SCHEDULES))
+def test_kernels_agree_and_conserve_work(seed):
+    schedule = make_schedule(seed)
+    new = run_schedule("virtual-time", schedule)
+    old = run_schedule("legacy", schedule)
+
+    # Same flows finish / are cancelled, at the same times (1e-9).
+    assert new[0].keys() == old[0].keys()
+    assert new[1].keys() == old[1].keys()
+    for i, t_new in new[0].items():
+        assert t_new == pytest.approx(old[0][i], rel=1e-9, abs=1e-9)
+    for i, t_new in new[1].items():
+        assert t_new == pytest.approx(old[1][i], rel=1e-9, abs=1e-9)
+
+    # Work conservation on both kernels: bytes_moved equals the bytes
+    # actually delivered (full size of finished flows + partial
+    # progress of cancelled ones).  The abs slack covers flows the
+    # epsilon completion test finishes with <= 1e-6 B residue each.
+    n_flows = len(new[0]) + len(new[1])
+    for finished, _c, total_delivered, bytes_moved in (new, old):
+        assert bytes_moved == pytest.approx(
+            total_delivered, rel=1e-9, abs=1e-5 * max(1, n_flows)
+        )
+
+
+class TestBytesMovedRegression:
+    """Satellite: `_advance` must credit only bytes actually delivered."""
+
+    def test_legacy_clamp_accounts_delivered_only(self):
+        # White-box reproduction of the defect condition: a flow whose
+        # residue is smaller than the interval's fair share.  The old
+        # code credited the full rate*dt (here 100 B) to _bytes_moved;
+        # only the 3 B that existed can have moved.
+        sim = Simulator()
+        res = LegacyBandwidthResource(sim, capacity=100.0)
+        flow = res.start_flow(1000.0, tag="a")
+        flow.remaining = 3.0
+        sim.call_at(1.0, lambda: None)
+        sim.run(until=1.0)
+        assert res.bytes_moved == pytest.approx(3.0, abs=1e-12)
+
+    def test_virtual_time_overshoot_refunded(self):
+        # The virtual-time kernel credits aggregate service as it
+        # accrues and refunds any completion overshoot, so the same
+        # invariant holds by construction: with one 30 B and one 50 B
+        # flow, exactly 80 B move, regardless of wake-up arithmetic.
+        sim = Simulator()
+        res = BandwidthResource(sim, capacity=100.0)
+        res.transfer(30.0, tag="a")
+        res.transfer(50.0, tag="b")
+        sim.run()
+        assert res.bytes_moved == pytest.approx(80.0, rel=1e-12)
+
+    def test_cancel_midway_counts_partial_bytes(self):
+        for name in ("virtual-time", "legacy"):
+            sim = Simulator()
+            res = kernel_class(name)(sim, capacity=100.0)
+            flow = res.start_flow(1000.0, tag="a")
+            sim.call_at(2.0, lambda: res.cancel(flow))
+            sim.run()
+            assert res.bytes_moved == pytest.approx(200.0, rel=1e-12)
+
+
+class TestWakeupChurn:
+    """Satellite: superseded wake-ups must not accumulate in the heap."""
+
+    def _churn(self, kernel_name: str, iterations: int = 2000) -> tuple[int, int]:
+        sim = Simulator()
+        res = kernel_class(kernel_name)(sim, capacity=100.0, name="churn")
+        # A long-lived flow keeps a wake-up armed, so every
+        # start/cancel below supersedes it and re-arms.
+        res.start_flow(1e12, tag="base")
+        peak = 0
+        for i in range(iterations):
+            flow = res.start_flow(1e6, tag=f"churn{i}")
+            res.cancel(flow)
+            # Drain the cancellation's failure event.
+            sim.run(until=sim.now + 1e-3)
+            peak = max(peak, len(sim._heap))
+        return peak, len(sim._heap)
+
+    @pytest.mark.parametrize("kernel_name", ["virtual-time", "legacy"])
+    def test_heap_stays_bounded_under_churn(self, kernel_name):
+        # Each iteration supersedes two wake-ups; without reclamation
+        # the heap would hold ~4000 dead entries after 2000 rounds.
+        # With discard + lazy compaction it stays around the
+        # compaction threshold.
+        peak, final = self._churn(kernel_name)
+        assert peak < 4 * Simulator.COMPACT_MIN_DISCARDED
+        assert final < 4 * Simulator.COMPACT_MIN_DISCARDED
+
+
+class TestKernelSelection:
+    def test_default_is_virtual_time(self):
+        assert kernel_class() is BandwidthResource
+
+    def test_use_kernel_context_swaps_default(self):
+        with use_kernel("legacy"):
+            assert kernel_class() is LegacyBandwidthResource
+        assert kernel_class() is BandwidthResource
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_class("no-such-kernel")
