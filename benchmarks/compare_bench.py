@@ -1,0 +1,111 @@
+"""Compare a kernel-benchmark run against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_kernel.json \\
+        benchmarks/baselines/BENCH_kernel.json [--threshold 0.30]
+
+Both files are pytest-benchmark JSON exports holding the
+machine-independent speedup ratios in ``benchmarks[].extra_info``
+(``churn_speedup``, ``swim_speedup``: virtual-time kernel events/sec
+over the legacy kernel's, measured on the same machine in the same
+process, so runner speed cancels out).  Absolute numbers like
+``churn_events_per_sec`` vary with the runner and are reported but
+never gated.
+
+Exits non-zero when any gated ratio regressed by more than
+``--threshold`` (default 30%) relative to the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: extra_info keys that gate (relative ratios; runner-independent).
+GATED = ("churn_speedup", "swim_speedup")
+#: extra_info keys shown for context only (absolute; runner-dependent).
+INFORMATIONAL = ("churn_events_per_sec",)
+
+
+def load_extra_info(path: Path) -> dict[str, dict[str, float]]:
+    """name -> extra_info for every benchmark in a pytest-benchmark JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        bench["name"]: bench.get("extra_info", {})
+        for bench in payload["benchmarks"]
+    }
+
+
+def compare(
+    current: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    threshold: float,
+) -> list[str]:
+    """Regression messages for every gated ratio past ``threshold``."""
+    failures: list[str] = []
+    for name, base_info in sorted(baseline.items()):
+        cur_info = current.get(name)
+        if cur_info is None:
+            failures.append(f"{name}: present in baseline but not in this run")
+            continue
+        for key in GATED:
+            if key not in base_info:
+                continue
+            base = base_info[key]
+            cur = cur_info.get(key)
+            if cur is None:
+                failures.append(f"{name}.{key}: missing from this run")
+                continue
+            change = (cur - base) / base
+            status = "REGRESSED" if change < -threshold else "ok"
+            print(
+                f"{name}.{key}: {cur:.3f} vs baseline {base:.3f} "
+                f"({change:+.1%}) [{status}]"
+            )
+            if change < -threshold:
+                failures.append(
+                    f"{name}.{key} regressed {-change:.1%} "
+                    f"(> {threshold:.0%} allowed): "
+                    f"{cur:.3f} vs baseline {base:.3f}"
+                )
+        for key in INFORMATIONAL:
+            if key in base_info and key in cur_info:
+                print(
+                    f"{name}.{key}: {cur_info[key]:,.0f} vs baseline "
+                    f"{base_info[key]:,.0f} (informational, not gated)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="this run's benchmark JSON")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="max allowed relative drop in a gated ratio (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = compare(
+        load_extra_info(args.current),
+        load_extra_info(args.baseline),
+        args.threshold,
+    )
+    if failures:
+        print("\nBenchmark regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nAll gated benchmark ratios within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

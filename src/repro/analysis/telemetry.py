@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
 from repro.sim.process import Interrupt, Process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,6 +52,7 @@ class TelemetryCollector:
         cluster: "Cluster",
         interval: float = 5.0,
         scheduler: Optional["TaskScheduler"] = None,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -58,6 +60,11 @@ class TelemetryCollector:
         self.sim = cluster.sim
         self.interval = interval
         self.scheduler = scheduler
+        #: Unified metrics sink; defaults to the ambient registry (the
+        #: no-op singleton unless a run scoped one in).
+        self.registry = (
+            registry if registry is not None else obs_metrics.active_registry()
+        )
         self.samples: list[TelemetrySample] = []
         self._proc: Optional[Process] = None
         self._last_busy = [0.0] * len(cluster.nodes)
@@ -107,6 +114,16 @@ class TelemetryCollector:
                 ),
             )
         )
+        reg = self.registry
+        if reg.enabled:
+            sample = self.samples[-1]
+            for i in range(len(self.cluster.nodes)):
+                reg.gauge("disk_utilization", node=i).set(sample.disk_utilization[i])
+                reg.gauge("memory_used_bytes", node=i).set(sample.memory_used[i])
+                if sample.ssd_used:
+                    reg.gauge("ssd_used_bytes", node=i).set(sample.ssd_used[i])
+            if sample.queued_tasks is not None:
+                reg.gauge("queued_tasks").set(sample.queued_tasks)
 
     def _run(self):
         try:

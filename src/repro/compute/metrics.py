@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.compute.job import TaskKind
 from repro.dfs.datanode import ReadSource
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["TaskMetrics", "JobMetrics", "MetricsCollector"]
 
@@ -121,6 +122,9 @@ class MetricsCollector:
         #: Completed tier moves per ladder edge: (source, dest) -> count
         #: (fed by the tiered master; empty for the paper's schemes).
         self.tier_moves: dict[tuple[str, str], int] = {}
+        #: Unified metrics sink (the no-op registry unless a run scoped
+        #: one in via ``repro.obs.metrics.collecting``).
+        self.registry = obs_metrics.active_registry()
 
     # -- tier lifecycle (the tiered-storage extension) -------------------------
 
@@ -128,6 +132,7 @@ class MetricsCollector:
         """Count one completed ``source`` -> ``dest`` block move."""
         key = (source, dest)
         self.tier_moves[key] = self.tier_moves.get(key, 0) + 1
+        self.registry.counter("tier_moves_total", source=source, dest=dest).inc()
 
     def promotion_count(self) -> int:
         """Completed moves that climbed the tier ladder."""
@@ -150,6 +155,20 @@ class MetricsCollector:
         if job_id not in self.jobs:
             self.jobs[job_id] = JobMetrics(job_id=job_id)
         return self.jobs[job_id]
+
+    def job_finished(self, jm: JobMetrics) -> None:
+        """Publish one finished job into the unified registry."""
+        reg = self.registry
+        if not reg.enabled:
+            return
+        reg.counter("jobs_finished_total").inc()
+        if jm.duration is not None:
+            reg.histogram("job_duration_seconds").observe(jm.duration)
+        if jm.lead_time is not None:
+            reg.histogram("job_lead_time_seconds").observe(jm.lead_time)
+        reg.histogram("job_memory_read_fraction", bounds=(
+            0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+        )).observe(jm.memory_read_fraction())
 
     def finished_jobs(self) -> list[JobMetrics]:
         return [j for j in self.jobs.values() if j.finished_at is not None]

@@ -23,6 +23,7 @@ from repro.compute.job import JobSpec, TaskSpec
 from repro.compute.metrics import JobMetrics, MetricsCollector, TaskMetrics
 from repro.compute.scheduler import TaskScheduler
 from repro.compute.task import execute_task
+from repro.obs import trace as obs
 from repro.sim.events import AllOf, AnyOf
 from repro.sim.process import Interrupt, Process
 
@@ -139,6 +140,7 @@ class JobRuntime:
             yield sim.timeout(job.submit_time - sim.now)
         jm: JobMetrics = self.metrics.job(job.job_id)
         jm.submitted_at = sim.now
+        obs.emit(obs.JOB_SUBMIT, sim.now, job=job.job_id)
         self.scheduler.job_started(job.job_id)
 
         # The §IV-B hook: migrate inputs the moment the job enters the
@@ -171,6 +173,14 @@ class JobRuntime:
                     jm.first_task_started_at = min(started)
 
         jm.finished_at = sim.now
+        obs.emit(
+            obs.JOB_FINISH,
+            sim.now,
+            job=job.job_id,
+            submitted=jm.submitted_at,
+            first_task_start=jm.first_task_started_at,
+        )
+        self.metrics.job_finished(jm)
         self.scheduler.job_finished(job.job_id)
         master = self.client.namenode.migration_master
         if master is not None:
@@ -236,7 +246,7 @@ class JobRuntime:
             waits = list(alive)
             if self.config.speculative_execution and not speculated:
                 waits.append(sim.timeout(self.config.speculation_check_interval))
-            done = yield AnyOf(sim, waits)
+            yield AnyOf(sim, waits)
 
             winner = next(
                 (

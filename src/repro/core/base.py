@@ -16,6 +16,7 @@ from repro.core.eviction import ReferenceTracker
 from repro.core.records import MigrationRecord, MigrationStatus
 from repro.dfs.block import Block, BlockId
 from repro.dfs.client import EvictionMode
+from repro.obs import trace as obs
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,7 +48,10 @@ class MigrationMaster:
         self._records: dict[BlockId, MigrationRecord] = {}
         #: Append-only log of every record ever created (metrics).
         self.record_log: list[MigrationRecord] = []
-        self.tracker = ReferenceTracker(on_block_unreferenced=self._on_unreferenced)
+        self.tracker = ReferenceTracker(
+            on_block_unreferenced=self._on_unreferenced,
+            clock=lambda: self.sim.now,
+        )
         #: Optional hook returning currently active job ids, used by the
         #: memory-pressure GC sweep (§III-C3); the compute scheduler
         #: plugs in here.
@@ -76,6 +80,7 @@ class MigrationMaster:
         implicit = eviction is EvictionMode.IMPLICIT
         new_records: list[MigrationRecord] = []
         for block in self.namenode.blocks_of(files):
+            obs.emit(obs.REQUEST, self.sim.now, block=block.block_id, job=job_id)
             self.tracker.add_reference(block.block_id, job_id, implicit=implicit)
             existing = self._records.get(block.block_id)
             if existing is not None and not existing.status.is_terminal:
@@ -83,6 +88,7 @@ class MigrationMaster:
             record = self._new_record(block)
             self._records[block.block_id] = record
             self.record_log.append(record)
+            obs.emit(obs.PENDING, self.sim.now, block=block.block_id)
             new_records.append(record)
         if new_records:
             self._on_new_records(new_records)
@@ -164,6 +170,9 @@ class MigrationMaster:
         for record in list(self._records.values()):
             if record.status is MigrationStatus.DONE and record.block_id in lost:
                 record.mark_evicted()
+                obs.emit(
+                    obs.EVICTED, self.sim.now, block=record.block_id, node=node_id
+                )
                 if self.tracker.is_referenced(record.block_id):
                     self._remigrate(record.block)
             elif (
@@ -180,13 +189,24 @@ class MigrationMaster:
         """
         if self.active_jobs_provider is None:
             return []
-        return self.tracker.sweep_inactive(self.active_jobs_provider())
+        swept = self.tracker.sweep_inactive(self.active_jobs_provider())
+        if swept:
+            obs.emit(obs.GC_SWEEP, self.sim.now, jobs_swept=len(swept))
+        return swept
 
     # -- record plumbing --------------------------------------------------------
 
     def discard(self, record: MigrationRecord, reason: str) -> None:
         """Cancel a not-yet-active migration."""
+        prior = record.status
         record.mark_discarded(self.sim.now, reason)
+        obs.emit(
+            obs.DROPPED,
+            self.sim.now,
+            block=record.block_id,
+            reason=reason,
+            status=prior.value,
+        )
         self._on_record_discarded(record)
 
     def _new_record(self, block: Block) -> MigrationRecord:
@@ -199,14 +219,14 @@ class MigrationMaster:
         replacement = self._new_record(block)
         self._records[block.block_id] = replacement
         self.record_log.append(replacement)
+        obs.emit(obs.PENDING, self.sim.now, block=block.block_id)
         self._on_new_records([replacement])
         return replacement
 
     def _requeue_after_failure(self, record: MigrationRecord) -> MigrationRecord:
         """Replace a record lost to a slave failure with a fresh
         PENDING one (bindings are final, so the old record dies)."""
-        record.mark_discarded(self.sim.now, reason="slave-failure")
-        self._on_record_discarded(record)
+        self.discard(record, reason="slave-failure")
         return self._remigrate(record.block)
 
     def _on_unreferenced(self, block_id: BlockId) -> None:
@@ -228,6 +248,7 @@ class MigrationMaster:
             if slave is not None:
                 slave.notify_memory_freed()
         record.mark_evicted()
+        obs.emit(obs.EVICTED, self.sim.now, block=record.block_id, node=node_id)
 
     # -- metrics -----------------------------------------------------------------
 

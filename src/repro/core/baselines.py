@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.base import MigrationMaster
 from repro.core.records import MigrationRecord
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
@@ -70,7 +71,7 @@ class IgnemMaster(MigrationMaster):
                 if n in self.slaves and self.slaves[n].alive
             ]
             if not locations:
-                record.mark_discarded(self.sim.now, reason="no-replica")
+                self.discard(record, reason="no-replica")
                 continue
             choice = int(self.rng.choice(len(locations)))
             node_id = locations[choice]
@@ -83,6 +84,13 @@ class IgnemMaster(MigrationMaster):
             if self.pin_reads:
                 self.namenode.read_directives[record.block_id] = node_id
             self.slaves[node_id].enqueue(record)
+            obs.emit(
+                obs.BIND,
+                self.sim.now,
+                block=record.block_id,
+                node=node_id,
+                queue_depth=self.slaves[node_id].queued_blocks,
+            )
 
     def _on_record_discarded(self, record: MigrationRecord) -> None:
         pass  # already in a slave queue; the worker skips terminal records
@@ -129,6 +137,13 @@ class NaiveBalancerMaster(MigrationMaster):
             record.mark_bound(node_id, self.sim.now)
             del self._pending[record.block_id]
             granted.append(record)
+            obs.emit(
+                obs.BIND,
+                self.sim.now,
+                block=record.block_id,
+                node=node_id,
+                queue_depth=self.slaves[node_id].queued_blocks + len(granted),
+            )
         return granted
 
 
@@ -149,13 +164,44 @@ class InstantMigrator(MigrationMaster):
             node_id = locations[self._rotation % len(locations)]
             self._rotation += 1
             record.mark_bound(node_id, self.sim.now)
+            obs.emit(
+                obs.BIND,
+                self.sim.now,
+                block=record.block_id,
+                node=node_id,
+                queue_depth=0,
+            )
             record.mark_active(self.sim.now)
+            obs.emit(
+                obs.MLOCK_START,
+                self.sim.now,
+                block=record.block_id,
+                node=node_id,
+                source="disk",
+                dest="memory",
+            )
             datanode = self.namenode.datanodes[node_id]
             if not datanode.node.memory.fits(record.block.size):
-                record.mark_discarded(self.sim.now, reason="out-of-memory")
+                obs.emit(
+                    obs.MLOCK_ABORT,
+                    self.sim.now,
+                    block=record.block_id,
+                    node=node_id,
+                    source="disk",
+                )
+                self.discard(record, reason="out-of-memory")
                 continue
             datanode.pin_block(record.block)
             record.mark_done(self.sim.now)
+            obs.emit(
+                obs.MLOCK_DONE,
+                self.sim.now,
+                block=record.block_id,
+                node=node_id,
+                source="disk",
+                dest="memory",
+                duration=0.0,
+            )
             self.on_migration_complete(record, node_id, duration=0.0)
 
     def _on_record_discarded(self, record: MigrationRecord) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from repro.dfs.block import BlockId
+from repro.obs import trace as obs
 
 __all__ = ["ReferenceTracker"]
 
@@ -33,16 +34,22 @@ class ReferenceTracker:
     on_block_unreferenced:
         Callback invoked with a block id the moment its reference list
         becomes empty -- the migration master hooks eviction here.
+    clock:
+        Optional time source (``lambda: sim.now``) used only to stamp
+        trace events; the tracker itself is clock-free.
     """
 
     def __init__(
-        self, on_block_unreferenced: Optional[Callable[[BlockId], None]] = None
+        self,
+        on_block_unreferenced: Optional[Callable[[BlockId], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self._jobs: dict[str, set[BlockId]] = {}
         self._blocks: dict[BlockId, set[str]] = {}
         #: Jobs that opted into implicit (evict-on-read) mode.
         self._implicit_jobs: set[str] = set()
         self._on_unreferenced = on_block_unreferenced
+        self._clock = clock
 
     # -- queries -----------------------------------------------------------
 
@@ -88,6 +95,12 @@ class ReferenceTracker:
                 self._implicit_jobs.discard(job_id)
         if not jobs:
             del self._blocks[block_id]
+            if obs.enabled():
+                obs.emit(
+                    obs.UNREFERENCED,
+                    self._clock() if self._clock is not None else None,
+                    block=block_id,
+                )
             if self._on_unreferenced is not None:
                 self._on_unreferenced(block_id)
 

@@ -22,6 +22,7 @@ from repro.core.records import BindingEvent, MigrationRecord
 from repro.core.targeting import SlaveLoad, compute_targets
 from repro.dfs.block import BlockId
 from repro.dfs.namespace import DEFAULT_BLOCK_SIZE
+from repro.obs import trace as obs
 from repro.sim.process import Interrupt, Process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -175,6 +176,7 @@ class DyrsMaster(MigrationMaster):
         jobs simply read from disk.  Slaves keep their buffers and the
         memory directory is rebuilt lazily as slaves report/evict.
         """
+        obs.emit(obs.MASTER_CRASH, self.sim.now, pending_lost=len(self._pending))
         self.stop()
         self._pending.clear()
         self._loads.clear()
@@ -194,6 +196,11 @@ class DyrsMaster(MigrationMaster):
             )
             for block_id in slave.datanode.memory_block_ids():
                 self.namenode.record_memory_replica(block_id, slave.node_id)
+        obs.emit(
+            obs.MASTER_RECOVER,
+            self.sim.now,
+            directory_size=len(self.namenode.memory_directory),
+        )
         self.start()
 
     # -- pending management -------------------------------------------------------
@@ -300,6 +307,13 @@ class DyrsMaster(MigrationMaster):
                         node_id=node_id,
                         queue_depth_after=slave.queued_blocks + len(granted),
                     )
+                )
+                obs.emit(
+                    obs.BIND,
+                    self.sim.now,
+                    block=record.block_id,
+                    node=node_id,
+                    queue_depth=slave.queued_blocks + len(granted),
                 )
             # Granting work changes the slave's backlog; fold that into
             # our view immediately rather than waiting a heartbeat.

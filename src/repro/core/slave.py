@@ -30,7 +30,8 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.estimator import MigrationTimeEstimator
-from repro.core.records import MigrationRecord
+from repro.core.records import MigrationRecord, MigrationStatus
+from repro.obs import trace as obs
 from repro.sim.events import AnyOf, Event
 from repro.sim.process import Interrupt, Process
 
@@ -147,6 +148,18 @@ class DyrsSlave:
         if not self.alive:
             return
         self.alive = False
+        obs.emit(obs.SLAVE_CRASH, self.sim.now, node=self.node_id)
+        for record in (self._active, self._ssd_active):
+            # Close the copy interval of any migration the dead process
+            # had in flight (the copy's bytes are lost with the buffer).
+            if record is not None and record.status is MigrationStatus.ACTIVE:
+                obs.emit(
+                    obs.MLOCK_ABORT,
+                    self.sim.now,
+                    block=record.block_id,
+                    node=self.node_id,
+                    source=record.source_tier,
+                )
         if self._worker is not None and self._worker.is_alive:
             self._worker.interrupt(cause="crash")
         self._worker = None
@@ -173,6 +186,7 @@ class DyrsSlave:
         """
         if self.alive:
             raise RuntimeError(f"slave {self.node_id} is already running")
+        obs.emit(obs.SLAVE_RESTART, self.sim.now, node=self.node_id)
         self.master.on_slave_failed(self.node_id)
         self._pull_in_flight = False
         self.start()
@@ -365,6 +379,14 @@ class DyrsSlave:
             # (its job went inactive while it sat in our queue).
             return False
         record.mark_active(sim.now)
+        obs.emit(
+            obs.MLOCK_START,
+            sim.now,
+            block=block.block_id,
+            node=self.node_id,
+            source=lane,
+            dest=record.dest_tier,
+        )
         started = sim.now
         copy_done = self.datanode.copy_block(
             block, source_tier=lane, tag=f"migrate:{block.block_id}"
@@ -374,18 +396,41 @@ class DyrsSlave:
         if record.status.is_terminal:
             # Discarded mid-copy (e.g. the master reclaimed work from a
             # presumed-dead slave); the bytes were read for nothing.
+            obs.emit(
+                obs.MLOCK_ABORT,
+                sim.now,
+                block=block.block_id,
+                node=self.node_id,
+                source=lane,
+            )
             return False
         estimator = self.ssd_estimator if lane == "ssd" else self.estimator
         estimator.observe(duration, block.size, now=sim.now)
         if record.dest_tier == "ssd":
             if not self._ssd_dest_fits(block.size):
                 # The cache filled up while the copy ran.
+                obs.emit(
+                    obs.MLOCK_ABORT,
+                    sim.now,
+                    block=block.block_id,
+                    node=self.node_id,
+                    source=lane,
+                )
                 self.master.discard(record, reason="ssd-full")
                 return False
             self.datanode.pin_block_ssd(block)
         else:
             self.datanode.pin_block(block)
         record.mark_done(sim.now)
+        obs.emit(
+            obs.MLOCK_DONE,
+            sim.now,
+            block=block.block_id,
+            node=self.node_id,
+            source=lane,
+            dest=record.dest_tier,
+            duration=duration,
+        )
         self.completed.append((record, duration))
         self.master.on_migration_complete(record, self.node_id, duration)
         return True

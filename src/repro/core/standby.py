@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.master import DyrsConfig, DyrsMaster
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dfs.heartbeat import HeartbeatService
@@ -97,9 +98,13 @@ class StandbyCoordinator:
                 self.namenode.datanodes[node_id].unpin_block(block_id)
                 self.namenode.drop_memory_replica(block_id)
                 new.slaves[node_id].notify_memory_freed()
+                obs.emit(
+                    obs.ORPHAN_EVICTED, self.sim.now, block=block_id, node=node_id
+                )
 
         self.primary = new
         self.log.append((self.sim.now, f"standby-gen{self.generation}-promoted"))
+        obs.emit(obs.FAILOVER, self.sim.now, generation=self.generation)
         return new
 
     def fail_over_after(self) -> None:

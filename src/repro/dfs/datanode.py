@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.dfs.block import Block, BlockId
+from repro.obs import trace as obs
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -147,7 +148,17 @@ class DataNode:
 
     def unpin_block(self, block_id: BlockId) -> float:
         """Evict a block from memory (``munmap``); idempotent."""
-        return self.node.memory.unpin(block_id)
+        freed = self.node.memory.unpin(block_id)
+        if freed > 0:
+            obs.emit(
+                obs.BUFFER_RELEASE,
+                self.node.sim.now,
+                block=block_id,
+                node=self.node_id,
+                tier="memory",
+                nbytes=freed,
+            )
+        return freed
 
     def pin_block_ssd(self, block: Block) -> None:
         """Account ``block`` as resident on this node's SSD cache."""
@@ -159,7 +170,17 @@ class DataNode:
         """Drop a block from the SSD cache; idempotent."""
         if self.node.ssd is None:
             return 0.0
-        return self.node.ssd.unpin(block_id)
+        freed = self.node.ssd.unpin(block_id)
+        if freed > 0:
+            obs.emit(
+                obs.BUFFER_RELEASE,
+                self.node.sim.now,
+                block=block_id,
+                node=self.node_id,
+                tier="ssd",
+                nbytes=freed,
+            )
+        return freed
 
     # -- read paths ----------------------------------------------------------
 
@@ -251,6 +272,33 @@ class DataNode:
             )
         self._cancellers[event] = cancel
         event.add_callback(lambda e: self._cancellers.pop(e, None))
+        if obs.enabled():
+            if source.is_memory:
+                etype = obs.READ_MEMORY
+            elif source.is_ssd:
+                etype = obs.READ_SSD
+            else:
+                etype = obs.READ_DISK
+            obs.emit(
+                etype,
+                self.node.sim.now,
+                block=block.block_id,
+                node=self.node_id,
+                reader=reader_node,
+                nbytes=block.size,
+            )
+            block_id, node_id = block.block_id, self.node_id
+
+            def _emit_done(e: Event) -> None:
+                if e.ok:
+                    obs.emit(
+                        obs.READ_DONE,
+                        self.node.sim.now,
+                        block=block_id,
+                        node=node_id,
+                    )
+
+            event.add_callback(_emit_done)
         self.read_log.append(
             ReadRecord(
                 time=self.node.sim.now,

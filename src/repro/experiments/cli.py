@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import ExitStack
 from typing import Callable, Optional
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -142,6 +143,21 @@ def main(argv: Optional[list[str]] = None) -> int:
             "policies; extension beyond the paper, off by default)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "capture migration-lifecycle trace events and write them "
+            "as JSON lines to FILE"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSON snapshot of the unified metrics registry to FILE",
+    )
     args = parser.parse_args(argv)
 
     if args.tiers:
@@ -156,12 +172,27 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        artifact, _ = EXPERIMENTS[name]
-        print(f"\n######## {name} -- {artifact} ########")
-        started = time.perf_counter()
-        print(run_one(name, args.seed, args.csv))
-        print(f"[{name}: {time.perf_counter() - started:.1f}s wall]")
+    with ExitStack() as stack:
+        if args.trace is not None:
+            from repro.obs import trace as obs_trace
+
+            tracer = stack.enter_context(obs_trace.tracing())
+        if args.metrics_out is not None:
+            from repro.obs import metrics as obs_metrics
+
+            registry = stack.enter_context(obs_metrics.collecting())
+        for name in names:
+            artifact, _ = EXPERIMENTS[name]
+            print(f"\n######## {name} -- {artifact} ########")
+            started = time.perf_counter()
+            print(run_one(name, args.seed, args.csv))
+            print(f"[{name}: {time.perf_counter() - started:.1f}s wall]")
+    if args.trace is not None:
+        path = tracer.dump_jsonl(args.trace)
+        print(f"[wrote {len(tracer.events)} trace event(s) to {path}]")
+    if args.metrics_out is not None:
+        path = registry.dump_json(args.metrics_out)
+        print(f"[wrote metrics snapshot to {path}]")
     return 0
 
 

@@ -1,0 +1,56 @@
+"""Observability: lifecycle tracing, metrics registry, trace analysis.
+
+Everything here is zero-dependency and off by default -- with no
+tracer/registry installed the instrumentation in the core is a no-op
+and paper-scheme results are byte-identical to an uninstrumented run.
+
+Typical use::
+
+    from repro.obs import Tracer, tracing, TraceAnalyzer, TraceInvariants
+
+    with tracing() as t:
+        run_experiment()
+    TraceInvariants(t.events).check_all()
+    print(TraceAnalyzer(t.events).summary())
+"""
+
+from repro.obs.analyze import TraceAnalyzer
+from repro.obs.invariants import InvariantViolation, TraceInvariants
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    collecting,
+    set_registry,
+)
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    emit,
+    load_jsonl,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "tracing",
+    "set_tracer",
+    "active_tracer",
+    "emit",
+    "load_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "collecting",
+    "set_registry",
+    "active_registry",
+    "TraceAnalyzer",
+    "TraceInvariants",
+    "InvariantViolation",
+]

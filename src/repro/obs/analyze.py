@@ -1,0 +1,237 @@
+"""Derive the paper's quantities from a lifecycle trace.
+
+:class:`TraceAnalyzer` turns the raw event stream into the numbers the
+DYRS evaluation plots: binding latency under delayed binding
+(§III-A1), lead-time utilization (Fig 7), per-disk migration
+concurrency (§III-B's serialization in action), and queue depth over
+time.  It consumes either an in-memory :class:`~repro.obs.trace.Tracer`
+event list or a JSON-lines file produced by ``dyrs-bench --trace``.
+
+All derivations walk the stream in *emission order*, which on a
+discrete-event simulator encodes causality even between events with
+identical timestamps; nothing here re-sorts by time.  ``run_start``
+events split the stream into independent segments (one per simulated
+world), since block/node/job identifiers are reused across runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.obs import trace as T
+from repro.obs.trace import TraceEvent, load_jsonl
+
+__all__ = ["TraceAnalyzer", "merge_intervals"]
+
+
+def merge_intervals(
+    intervals: Iterable[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Coalesce overlapping/touching [start, end] intervals."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class TraceAnalyzer:
+    """Read-only analysis over a finished trace."""
+
+    def __init__(self, events: list[TraceEvent]) -> None:
+        self.events = events
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "TraceAnalyzer":
+        return cls(load_jsonl(path))
+
+    def _segments(self) -> list[list[TraceEvent]]:
+        """The stream split on ``run_start`` boundaries.
+
+        Identifiers are only unique within one simulated world, so the
+        stateful derivations never pair events across segments.
+        """
+        segments: list[list[TraceEvent]] = [[]]
+        for event in self.events:
+            if event.type == T.RUN_START and segments[-1]:
+                segments.append([])
+            segments[-1].append(event)
+        return segments
+
+    # -- binding latency (§III-A1) ------------------------------------------
+
+    def binding_latencies(self) -> list[float]:
+        """Per-record pending -> bind delay, in stream order.
+
+        Delayed binding means a record sits pending until a slave pulls
+        it; this pairs each ``bind`` with the earliest unmatched
+        ``pending`` for the same block (FIFO per block, which matches
+        re-migration of the same block after eviction).
+        """
+        latencies: list[float] = []
+        for segment in self._segments():
+            pending: dict[str, list[float]] = defaultdict(list)
+            for event in segment:
+                if event.type == T.PENDING:
+                    pending[event.fields["block"]].append(event.time)
+                elif event.type == T.BIND:
+                    queue = pending.get(event.fields["block"])
+                    if queue:
+                        latencies.append(event.time - queue.pop(0))
+        return latencies
+
+    # -- lead-time utilization (Fig 7) --------------------------------------
+
+    def lead_time_utilization(self) -> dict[str, float]:
+        """Fraction of each job's lead time spent actually migrating.
+
+        The lead time is the window between job submission and its
+        first task start (the paper's Fig 7 x-axis); utilization is the
+        merged mlock_start..mlock_done copy time of that job's blocks
+        clipped to the window, over the window length.  Jobs with a
+        zero-length window or no migrated blocks are omitted.  In a
+        multi-run trace job ids repeat, so keys become ``job#k`` with
+        ``k`` the run index.
+        """
+        segments = self._segments()
+        utilization: dict[str, float] = {}
+        for run_idx, segment in enumerate(segments):
+            job_blocks: dict[str, set[str]] = defaultdict(set)
+            copy_start: dict[str, float] = {}
+            block_intervals: dict[str, list[tuple[float, float]]] = defaultdict(
+                list
+            )
+            windows: dict[str, tuple[float, float]] = {}
+            for event in segment:
+                if event.type == T.REQUEST:
+                    job = event.fields.get("job")
+                    if job is not None:
+                        job_blocks[str(job)].add(event.fields["block"])
+                elif event.type == T.MLOCK_START:
+                    copy_start[event.fields["block"]] = event.time
+                elif event.type == T.MLOCK_DONE:
+                    block = event.fields["block"]
+                    start = copy_start.pop(block, None)
+                    if start is not None:
+                        block_intervals[block].append((start, event.time))
+                elif event.type == T.JOB_FINISH:
+                    submitted = event.fields.get("submitted")
+                    first_start = event.fields.get("first_task_start")
+                    if submitted is not None and first_start is not None:
+                        windows[str(event.fields["job"])] = (
+                            submitted,
+                            first_start,
+                        )
+            for job, (lo, hi) in windows.items():
+                if hi <= lo or not job_blocks.get(job):
+                    continue
+                intervals = []
+                for block in job_blocks[job]:
+                    for start, end in block_intervals.get(block, ()):
+                        start, end = max(start, lo), min(end, hi)
+                        if end > start:
+                            intervals.append((start, end))
+                if intervals:
+                    busy = sum(
+                        end - start for start, end in merge_intervals(intervals)
+                    )
+                    key = job if len(segments) == 1 else f"{job}#{run_idx}"
+                    utilization[key] = busy / (hi - lo)
+        return utilization
+
+    # -- per-disk migration concurrency (§III-B) ----------------------------
+
+    def migration_concurrency(self) -> dict[tuple[str, str], int]:
+        """Max simultaneous copies per (node, source lane).
+
+        Under §III-B per-disk serialization, every disk lane's maximum
+        must be 1; the SSD lane is a separate channel.
+        """
+        peak: dict[tuple[str, str], int] = defaultdict(int)
+        for segment in self._segments():
+            active: dict[tuple[str, str], int] = defaultdict(int)
+            for event in segment:
+                if event.type == T.MLOCK_START:
+                    key = (
+                        event.fields["node"],
+                        event.fields.get("source", "disk"),
+                    )
+                    active[key] += 1
+                    peak[key] = max(peak[key], active[key])
+                elif event.type in (T.MLOCK_DONE, T.MLOCK_ABORT):
+                    key = (
+                        event.fields["node"],
+                        event.fields.get("source", "disk"),
+                    )
+                    if active[key] > 0:
+                        active[key] -= 1
+        return dict(peak)
+
+    # -- queue depth over time (§III-B) -------------------------------------
+
+    def queue_depth_series(
+        self, node: Optional[str] = None
+    ) -> list[tuple[float, int]]:
+        """(time, depth) samples from depth-carrying bind events."""
+        series = []
+        for event in self.events:
+            if event.type == T.BIND and "queue_depth" in event.fields:
+                if node is None or event.fields.get("node") == node:
+                    series.append((event.time, event.fields["queue_depth"]))
+        return series
+
+    # -- read-path mix ------------------------------------------------------
+
+    def read_counts(self) -> dict[str, int]:
+        """Reads served per tier (memory/ssd/disk)."""
+        counts = {"memory": 0, "ssd": 0, "disk": 0}
+        for event in self.events:
+            if event.type == T.READ_MEMORY:
+                counts["memory"] += 1
+            elif event.type == T.READ_SSD:
+                counts["ssd"] += 1
+            elif event.type == T.READ_DISK:
+                counts["disk"] += 1
+        return counts
+
+    # -- lifecycle accounting -----------------------------------------------
+
+    def lifecycle_counts(self) -> dict[str, int]:
+        """Totals for each lifecycle stage, for quick sanity summaries."""
+        counts: dict[str, int] = defaultdict(int)
+        for event in self.events:
+            counts[event.type] += 1
+        return dict(counts)
+
+    def summary(self) -> dict:
+        """One JSON-friendly digest of the headline quantities."""
+        latencies = self.binding_latencies()
+        utilization = self.lead_time_utilization()
+        concurrency = self.migration_concurrency()
+        return {
+            "events": len(self.events),
+            "lifecycle": self.lifecycle_counts(),
+            "binding_latency": {
+                "count": len(latencies),
+                "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+                "max": max(latencies) if latencies else 0.0,
+            },
+            "lead_time_utilization": {
+                "jobs": len(utilization),
+                "mean": (
+                    sum(utilization.values()) / len(utilization)
+                    if utilization
+                    else 0.0
+                ),
+            },
+            "max_disk_concurrency": max(
+                (v for (_, lane), v in concurrency.items() if lane == "disk"),
+                default=0,
+            ),
+            "reads": self.read_counts(),
+        }

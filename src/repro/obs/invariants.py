@@ -1,0 +1,153 @@
+"""Assert §III semantics from a trace alone.
+
+:class:`TraceInvariants` re-derives the protocol's correctness
+conditions from the event stream, independent of the simulator's own
+data structures -- if an implementation change breaks the protocol,
+the trace convicts it even when unit tests pass.  Checked:
+
+1. **No memory read before mlock_done** -- a ``read_memory`` span for
+   a block on a node requires that block to be memory-resident there
+   (an earlier ``mlock_done``/``preload`` not yet undone by a
+   ``buffer_release``).  This is the delayed-binding safety property:
+   readers never see a partially locked buffer.
+2. **Per-disk migrations serialized (§III-B)** -- at most one
+   ``mlock_start``..``mlock_done|mlock_abort`` interval open at a time
+   per (node, disk lane).
+3. **Every bind preceded by a pending (§III-A1)** -- delayed binding
+   means no record is bound that was never queued.
+4. **Every evicted block's buffer released (§III-C3)** -- when an
+   ``evicted`` event appears, the block must no longer be
+   memory-resident on that node (the eviction path unpins before it
+   marks the record).
+
+All checks walk the stream in emission order: on a discrete-event
+simulator, same-timestamp events are causally ordered by emission, so
+re-sorting by time would destroy exactly the ordering being verified.
+``run_start`` events reset all state: block/node identifiers are only
+unique within one simulated world, and a multi-run trace (one system
+per scheme x case) reuses them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Union
+
+from repro.obs import trace as T
+from repro.obs.trace import TraceEvent, load_jsonl
+
+__all__ = ["TraceInvariants", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :meth:`TraceInvariants.check_all` on any violation."""
+
+
+class TraceInvariants:
+    """Stream-order invariant checker over a finished trace."""
+
+    def __init__(self, events: list[TraceEvent]) -> None:
+        self.events = events
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "TraceInvariants":
+        return cls(load_jsonl(path))
+
+    def violations(self) -> list[str]:
+        """All violations found, as human-readable one-liners."""
+        found: list[str] = []
+        # (node, block) -> memory-resident?
+        resident: set[tuple[str, str]] = set()
+        # (node, lane) -> block with an open copy interval
+        copying: dict[tuple[str, str], str] = {}
+        # block -> outstanding pending count (not yet bound/dropped)
+        pending: dict[str, int] = defaultdict(int)
+
+        for i, event in enumerate(self.events):
+            etype, f = event.type, event.fields
+            where = f"event #{i} t={event.time}"
+
+            if etype == T.RUN_START:
+                # A new simulated world: identifiers start over, so
+                # carrying state across the boundary would fabricate
+                # violations (and mask real ones).
+                resident.clear()
+                copying.clear()
+                pending.clear()
+
+            elif etype == T.PENDING:
+                pending[f["block"]] += 1
+
+            elif etype == T.BIND:
+                block = f["block"]
+                if pending[block] <= 0:
+                    found.append(
+                        f"{where}: bind of {block} on {f.get('node')} "
+                        "with no outstanding pending (delayed binding "
+                        "violated, §III-A1)"
+                    )
+                else:
+                    pending[block] -= 1
+
+            elif etype == T.DROPPED:
+                if f.get("status") == "pending":
+                    block = f["block"]
+                    if pending[block] > 0:
+                        pending[block] -= 1
+
+            elif etype == T.MLOCK_START:
+                key = (f["node"], f.get("source", "disk"))
+                if key in copying:
+                    found.append(
+                        f"{where}: mlock_start of {f['block']} on "
+                        f"{key[0]} lane={key[1]} while {copying[key]} "
+                        "still copying (per-disk serialization "
+                        "violated, §III-B)"
+                    )
+                copying[key] = f["block"]
+
+            elif etype == T.MLOCK_DONE:
+                key = (f["node"], f.get("source", "disk"))
+                copying.pop(key, None)
+                if f.get("dest", "memory") == "memory":
+                    resident.add((f["node"], f["block"]))
+
+            elif etype == T.MLOCK_ABORT:
+                copying.pop((f["node"], f.get("source", "disk")), None)
+
+            elif etype == T.PRELOAD:
+                resident.add((f["node"], f["block"]))
+
+            elif etype == T.READ_MEMORY:
+                key = (f["node"], f["block"])
+                if key not in resident:
+                    found.append(
+                        f"{where}: read_memory of {f['block']} on "
+                        f"{f['node']} before its mlock_done (read "
+                        "served from an unlocked buffer)"
+                    )
+
+            elif etype == T.BUFFER_RELEASE:
+                if f.get("tier", "memory") == "memory":
+                    resident.discard((f["node"], f["block"]))
+
+            elif etype == T.EVICTED:
+                key = (f["node"], f["block"])
+                if key in resident:
+                    found.append(
+                        f"{where}: block {f['block']} evicted on "
+                        f"{f['node']} while still memory-resident "
+                        "(buffer not released, §III-C3)"
+                    )
+
+        return found
+
+    def check_all(self) -> None:
+        """Raise :class:`InvariantViolation` listing every violation."""
+        found = self.violations()
+        if found:
+            raise InvariantViolation(
+                f"{len(found)} trace invariant violation(s):\n"
+                + "\n".join(f"  - {v}" for v in found)
+            )

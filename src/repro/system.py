@@ -44,6 +44,7 @@ from repro.core.baselines import InstantMigrator
 from repro.dfs import DFSClient, NameNode, RandomPlacement
 from repro.dfs.heartbeat import HeartbeatService
 from repro.dfs.namespace import DEFAULT_BLOCK_SIZE
+from repro.obs import trace as obs
 from repro.tiers import TierConfig, TieredDyrsMaster
 
 __all__ = ["System", "SystemConfig", "SCHEMES"]
@@ -159,6 +160,12 @@ class System:
         if self._started:
             return self
         self._started = True
+        obs.emit(
+            obs.RUN_START,
+            self.sim.now,
+            scheme=self.config.scheme,
+            n_workers=len(self.cluster.nodes),
+        )
         self.heartbeats.start()
         if isinstance(self.master, DyrsMaster):
             self.master.start()
@@ -180,6 +187,9 @@ class System:
                 node_id = block.replica_nodes[0]
                 self.namenode.datanodes[node_id].pin_block(block)
                 self.namenode.record_memory_replica(block.block_id, node_id)
+                obs.emit(
+                    obs.PRELOAD, self.sim.now, block=block.block_id, node=node_id
+                )
 
     def load_inputs(self, files: Sequence[tuple[str, float]]) -> None:
         """Bulk :meth:`load_input`."""

@@ -34,6 +34,7 @@ from repro.core.policies import MigrationPolicy
 from repro.core.records import BindingEvent, MigrationRecord, MigrationStatus
 from repro.dfs.block import Block, BlockId
 from repro.dfs.client import EvictionMode
+from repro.obs import trace as obs
 from repro.sim.process import Interrupt, Process
 from repro.tiers.policy import (
     CostBenefitPolicy,
@@ -282,6 +283,13 @@ class TieredDyrsMaster(DyrsMaster):
                 queue_depth_after=slave.ssd_queued_blocks,
             )
         )
+        obs.emit(
+            obs.BIND,
+            self.sim.now,
+            block=record.block_id,
+            node=node_id,
+            queue_depth=slave.ssd_queued_blocks,
+        )
 
     def _on_record_discarded(self, record: MigrationRecord) -> None:
         super()._on_record_discarded(record)
@@ -332,6 +340,17 @@ class TieredDyrsMaster(DyrsMaster):
                 if slave is not None:
                     slave.notify_memory_freed()
                 record.mark_evicted()
+                obs.emit(
+                    obs.DEMOTE,
+                    self.sim.now,
+                    block=record.block_id,
+                    node=node_id,
+                    source="memory",
+                    dest="ssd",
+                )
+                obs.emit(
+                    obs.EVICTED, self.sim.now, block=record.block_id, node=node_id
+                )
                 return
         super()._evict_done_record(record)
 
@@ -344,8 +363,7 @@ class TieredDyrsMaster(DyrsMaster):
                 record.status in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
                 and record.bound_node == node_id
             ):
-                record.mark_discarded(self.sim.now, reason="slave-failure")
-                self._on_record_discarded(record)
+                self.discard(record, reason="slave-failure")
         super().on_slave_failed(node_id)
 
     # -- the lifecycle pass ----------------------------------------------------------
@@ -422,6 +440,14 @@ class TieredDyrsMaster(DyrsMaster):
                     self.namenode.datanodes[ssd_node].unpin_block_ssd(block_id)
                     self.namenode.drop_ssd_replica(block_id)
                     self._count_move("ssd", "disk")
+                    obs.emit(
+                        obs.DEMOTE,
+                        now,
+                        block=block_id,
+                        node=ssd_node,
+                        source="ssd",
+                        dest="disk",
+                    )
                     actions["demoted"] += 1
                 # target "memory" is reference-driven; "ssd" is a keep.
                 continue
@@ -447,6 +473,7 @@ class TieredDyrsMaster(DyrsMaster):
             self._tier_records[block_id] = record
             self.tier_record_log.append(record)
             self._pending[block_id] = record
+            obs.emit(obs.PENDING, now, block=block_id)
             actions["promoted"] += 1
         if actions["promoted"]:
             self.retarget()

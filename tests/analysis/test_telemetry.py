@@ -1,7 +1,5 @@
 """Tests for the telemetry collector."""
 
-import math
-
 import pytest
 
 from repro.analysis.telemetry import TelemetryCollector

@@ -45,7 +45,7 @@ class TestDelayScheduling:
     def test_falls_back_after_delay_expires(self, cluster):
         scheduler = TaskScheduler(cluster, locality_delay=5.0)
         sim = cluster.sim
-        holder = scheduler.acquire(preferred_nodes=[0])
+        _holder = scheduler.acquire(preferred_nodes=[0])
         sim.run()
 
         granted = []
@@ -84,7 +84,7 @@ class TestDelayScheduling:
         request holds out for locality."""
         scheduler = TaskScheduler(cluster, locality_delay=10.0)
         sim = cluster.sim
-        holder = scheduler.acquire(preferred_nodes=[0])
+        _holder = scheduler.acquire(preferred_nodes=[0])
         sim.run()
 
         order = []

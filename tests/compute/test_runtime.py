@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import ClusterSpec, NodeSpec
+from repro.cluster import ClusterSpec
 from repro.compute import ComputeConfig, TaskKind, mapreduce_job
 from repro.dfs import ReadSource
 from repro.system import System, SystemConfig

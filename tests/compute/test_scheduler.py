@@ -44,7 +44,7 @@ class TestSlots:
 
     def test_falls_back_to_any_free_node(self, cluster, scheduler):
         # Fill node 2 completely.
-        holders = [scheduler.acquire(preferred_nodes=[2]) for _ in range(2)]
+        _holders = [scheduler.acquire(preferred_nodes=[2]) for _ in range(2)]
         cluster.sim.run()
         got = []
 

@@ -4,11 +4,9 @@ Speculation is OFF by default (Tez 0.9's default, matching the
 paper's testbed); these tests enable it explicitly.
 """
 
-import math
-
 import pytest
 
-from repro.cluster import ClusterSpec, NodeSpec, PersistentInterference
+from repro.cluster import ClusterSpec, NodeSpec
 from repro.compute import ComputeConfig, mapreduce_job
 from repro.system import System, SystemConfig
 from repro.units import GB, MB

@@ -95,7 +95,7 @@ class TestInstantMigrator:
 
     def test_blocks_in_memory_instantly(self, make_rig):
         rig, master = self.make(make_rig)
-        entry = rig.client.create_file("input", 256 * MB)
+        rig.client.create_file("input", 256 * MB)
         master.migrate(["input"], job_id="j1")
         assert len(rig.namenode.memory_directory) == 4
         assert rig.cluster.total_memory_used() == pytest.approx(256 * MB)

@@ -1,7 +1,5 @@
 """Tests for reference tracking / eviction and queue policies."""
 
-import pytest
-
 from repro.core import (
     FifoPolicy,
     LifoPolicy,

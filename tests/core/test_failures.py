@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import MigrationStatus
 from repro.core.failures import FailureInjector
 from repro.dfs import ReadSource
 from repro.units import GB, MB
@@ -72,7 +71,7 @@ class TestMasterFailure:
             assert set(rig.namenode.datanodes[nid].memory_block_ids()) == blocks
 
     def test_recover_rebuilds_directory_from_slaves(self, rig):
-        entry = rig.client.create_file("input", 256 * MB)
+        rig.client.create_file("input", 256 * MB)
         rig.master.migrate(["input"], job_id="j1")
         rig.sim.run(until=30)
         expected = dict(rig.namenode.memory_directory)

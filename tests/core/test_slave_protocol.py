@@ -1,7 +1,5 @@
 """Detailed tests of the slave's pull protocol and queue discipline."""
 
-import pytest
-
 from repro.core import DyrsConfig, MigrationStatus
 from repro.dfs import EvictionMode
 from repro.units import GB, MB

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.cluster import Cluster, ClusterSpec
-from repro.core import DyrsConfig, DyrsSlave, MigrationStatus
+from repro.core import DyrsConfig, DyrsSlave
 from repro.core.standby import StandbyCoordinator
 from repro.dfs import DFSClient, NameNode, RandomPlacement
 from repro.dfs.heartbeat import HeartbeatService
-from repro.units import GB, MB
+from repro.units import MB
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dfs import HeartbeatReport, ReadSource
+from repro.dfs import ReadSource
 from repro.dfs.heartbeat import HeartbeatService
 from repro.units import MB
 

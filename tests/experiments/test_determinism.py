@@ -99,6 +99,52 @@ class TestExportDeterminism:
         assert a == b
 
 
+class TestObservabilityTransparency:
+    """Tracing/metrics capture must not perturb the simulation.
+
+    The tracer only records what components already do (it never reads
+    clocks or RNG streams), so a traced run and an untraced run of the
+    same seed must export byte-identical artifacts for every paper
+    scheme -- and with tracing off (the default), the obs layer is a
+    no-op entirely.
+    """
+
+    KWARGS = dict(
+        schemes=("hdfs", "ignem", "dyrs"), cases=("none",), size=4 * GB, seed=7
+    )
+
+    def test_traced_run_is_byte_identical_to_untraced(self, tmp_path):
+        from repro.obs.metrics import collecting
+        from repro.obs.trace import tracing
+
+        plain = _export_bytes(
+            "sort-reads", sort_reads.run(**self.KWARGS), tmp_path / "plain"
+        )
+        with tracing() as tracer, collecting() as registry:
+            traced = _export_bytes(
+                "sort-reads", sort_reads.run(**self.KWARGS), tmp_path / "traced"
+            )
+        assert traced == plain
+        # ... while actually capturing something.
+        assert len(tracer.events) > 0
+        assert registry.snapshot()
+
+    def test_default_off_run_is_byte_identical(self, tmp_path):
+        from repro.obs.metrics import NULL_REGISTRY, active_registry
+        from repro.obs.trace import NULL_TRACER, active_tracer
+
+        assert active_tracer() is NULL_TRACER
+        assert active_registry() is NULL_REGISTRY
+        a = _export_bytes(
+            "sort-reads", sort_reads.run(**self.KWARGS), tmp_path / "a"
+        )
+        b = _export_bytes(
+            "sort-reads", sort_reads.run(**self.KWARGS), tmp_path / "b"
+        )
+        assert a == b
+        assert len(NULL_TRACER.events) == 0
+
+
 class TestCrossKernelEquivalence:
     """The virtual-time kernel reproduces the legacy kernel's physics."""
 

@@ -18,7 +18,6 @@ from repro.experiments import (
     tracking,
 )
 from repro.experiments.common import SLOW_NODE
-from repro.units import GB
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,224 @@
+"""TraceAnalyzer on hand-built streams with hand-computed answers."""
+
+import pytest
+
+from repro.obs import trace as T
+from repro.obs.analyze import TraceAnalyzer, merge_intervals
+from repro.obs.trace import Tracer
+
+
+def _events(*specs):
+    t = Tracer()
+    for etype, time, fields in specs:
+        t.emit(etype, time, **fields)
+    return t.events
+
+
+class TestMergeIntervals:
+    def test_overlap_and_touch_coalesce(self):
+        assert merge_intervals([(0, 2), (1, 3), (3, 4), (6, 7)]) == [
+            (0, 4),
+            (6, 7),
+        ]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+
+class TestBindingLatency:
+    def test_pairs_pending_with_bind_per_block(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.PENDING, 0.0, {"block": 1}),
+                (T.PENDING, 0.0, {"block": 2}),
+                (T.BIND, 2.0, {"block": 1, "node": 0}),
+                (T.BIND, 5.0, {"block": 2, "node": 1}),
+            )
+        )
+        assert an.binding_latencies() == [2.0, 5.0]
+
+    def test_remigration_pairs_fifo(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.PENDING, 0.0, {"block": 1}),
+                (T.BIND, 1.0, {"block": 1, "node": 0}),
+                (T.PENDING, 10.0, {"block": 1}),
+                (T.BIND, 13.0, {"block": 1, "node": 2}),
+            )
+        )
+        assert an.binding_latencies() == [1.0, 3.0]
+
+    def test_unmatched_bind_is_skipped(self):
+        an = TraceAnalyzer(_events((T.BIND, 1.0, {"block": 9, "node": 0})))
+        assert an.binding_latencies() == []
+
+
+class TestLeadTimeUtilization:
+    def test_clipped_merged_intervals(self):
+        # Job window [0, 10]; copies [2, 6] and [4, 8] merge to [2, 8]
+        # (6 busy seconds) -> utilization 0.6.
+        an = TraceAnalyzer(
+            _events(
+                (T.REQUEST, 0.0, {"block": 1, "job": "j"}),
+                (T.REQUEST, 0.0, {"block": 2, "job": "j"}),
+                (T.MLOCK_START, 2.0, {"block": 1, "node": 0}),
+                (T.MLOCK_START, 4.0, {"block": 2, "node": 1}),
+                (T.MLOCK_DONE, 6.0, {"block": 1, "node": 0}),
+                (T.MLOCK_DONE, 8.0, {"block": 2, "node": 1}),
+                (
+                    T.JOB_FINISH,
+                    30.0,
+                    {"job": "j", "submitted": 0.0, "first_task_start": 10.0},
+                ),
+            )
+        )
+        assert an.lead_time_utilization() == {"j": pytest.approx(0.6)}
+
+    def test_copy_outside_window_is_clipped(self):
+        # Window [0, 4]; the copy [2, 9] contributes only [2, 4].
+        an = TraceAnalyzer(
+            _events(
+                (T.REQUEST, 0.0, {"block": 1, "job": "j"}),
+                (T.MLOCK_START, 2.0, {"block": 1, "node": 0}),
+                (T.MLOCK_DONE, 9.0, {"block": 1, "node": 0}),
+                (
+                    T.JOB_FINISH,
+                    20.0,
+                    {"job": "j", "submitted": 0.0, "first_task_start": 4.0},
+                ),
+            )
+        )
+        assert an.lead_time_utilization() == {"j": pytest.approx(0.5)}
+
+    def test_job_without_migrations_is_omitted(self):
+        an = TraceAnalyzer(
+            _events(
+                (
+                    T.JOB_FINISH,
+                    20.0,
+                    {"job": "j", "submitted": 0.0, "first_task_start": 4.0},
+                ),
+            )
+        )
+        assert an.lead_time_utilization() == {}
+
+
+class TestConcurrency:
+    def test_peak_per_node_and_lane(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.MLOCK_START, 0.0, {"block": 1, "node": 0, "source": "disk"}),
+                (T.MLOCK_START, 1.0, {"block": 2, "node": 0, "source": "ssd"}),
+                (T.MLOCK_DONE, 2.0, {"block": 1, "node": 0, "source": "disk"}),
+                (T.MLOCK_START, 2.0, {"block": 3, "node": 0, "source": "disk"}),
+                (T.MLOCK_ABORT, 3.0, {"block": 3, "node": 0, "source": "disk"}),
+                (T.MLOCK_DONE, 4.0, {"block": 2, "node": 0, "source": "ssd"}),
+            )
+        )
+        assert an.migration_concurrency() == {
+            (0, "disk"): 1,
+            (0, "ssd"): 1,
+        }
+
+    def test_overlap_counted(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.MLOCK_START, 0.0, {"block": 1, "node": 0, "source": "disk"}),
+                (T.MLOCK_START, 1.0, {"block": 2, "node": 0, "source": "disk"}),
+            )
+        )
+        assert an.migration_concurrency() == {(0, "disk"): 2}
+
+
+class TestSeriesAndSummary:
+    def test_queue_depth_series_filters_node(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.BIND, 1.0, {"block": 1, "node": 0, "queue_depth": 2}),
+                (T.BIND, 2.0, {"block": 2, "node": 1, "queue_depth": 5}),
+            )
+        )
+        assert an.queue_depth_series() == [(1.0, 2), (2.0, 5)]
+        assert an.queue_depth_series(node=1) == [(2.0, 5)]
+
+    def test_read_counts(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.READ_MEMORY, 0.0, {"block": 1, "node": 0}),
+                (T.READ_MEMORY, 1.0, {"block": 2, "node": 0}),
+                (T.READ_DISK, 2.0, {"block": 3, "node": 1}),
+            )
+        )
+        assert an.read_counts() == {"memory": 2, "ssd": 0, "disk": 1}
+
+    def test_summary_digest(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.PENDING, 0.0, {"block": 1}),
+                (T.BIND, 2.0, {"block": 1, "node": 0}),
+            )
+        )
+        s = an.summary()
+        assert s["events"] == 2
+        assert s["binding_latency"] == {"count": 1, "mean": 2.0, "max": 2.0}
+        assert s["lifecycle"] == {"pending": 1, "bind": 1}
+
+    def test_from_jsonl(self, tmp_path):
+        t = Tracer()
+        t.emit(T.PENDING, 0.0, block=1)
+        t.emit(T.BIND, 3.0, block=1, node=0)
+        path = t.dump_jsonl(tmp_path / "t.jsonl")
+        an = TraceAnalyzer.from_jsonl(path)
+        assert an.binding_latencies() == [3.0]
+
+
+class TestRunSegmentation:
+    """Multi-run traces never pair events across run_start boundaries."""
+
+    def test_pending_does_not_leak_into_next_run(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.RUN_START, 0.0, {"scheme": "dyrs"}),
+                (T.PENDING, 0.0, {"block": 1}),
+                (T.RUN_START, 0.0, {"scheme": "ignem"}),
+                (T.PENDING, 2.0, {"block": 1}),
+                (T.BIND, 3.0, {"block": 1, "node": 0}),
+            )
+        )
+        # The bind pairs with run 2's pending (latency 1), not run 1's.
+        assert an.binding_latencies() == [1.0]
+
+    def test_concurrency_resets_per_run(self):
+        an = TraceAnalyzer(
+            _events(
+                (T.RUN_START, 0.0, {"scheme": "dyrs"}),
+                (T.MLOCK_START, 1.0, {"block": 1, "node": 0}),
+                (T.RUN_START, 0.0, {"scheme": "naive"}),
+                (T.MLOCK_START, 1.0, {"block": 1, "node": 0}),
+            )
+        )
+        assert an.migration_concurrency() == {(0, "disk"): 1}
+
+    def test_utilization_keys_carry_run_index(self):
+        spec = (
+            (T.REQUEST, 0.0, {"block": 1, "job": "j"}),
+            (T.MLOCK_START, 2.0, {"block": 1, "node": 0}),
+            (T.MLOCK_DONE, 6.0, {"block": 1, "node": 0}),
+            (
+                T.JOB_FINISH,
+                30.0,
+                {"job": "j", "submitted": 0.0, "first_task_start": 10.0},
+            ),
+        )
+        an = TraceAnalyzer(
+            _events(
+                (T.RUN_START, 0.0, {"scheme": "dyrs"}),
+                *spec,
+                (T.RUN_START, 0.0, {"scheme": "ignem"}),
+                *spec,
+            )
+        )
+        assert an.lead_time_utilization() == {
+            "j#0": pytest.approx(0.4),
+            "j#1": pytest.approx(0.4),
+        }

@@ -1,0 +1,63 @@
+"""Acceptance: ``dyrs-bench --trace/--metrics-out`` end to end.
+
+The written trace must be parseable JSONL from which
+``TraceAnalyzer`` recovers the paper quantities (binding latency,
+lead-time utilization), and the metrics snapshot must be valid JSON
+with the registry's job-level instruments populated.
+"""
+
+import json
+
+from repro.experiments import cli
+from repro.obs.analyze import TraceAnalyzer
+from repro.obs.invariants import TraceInvariants
+from repro.obs.trace import load_jsonl
+
+
+class TestCliTrace:
+    def test_trace_and_metrics_roundtrip(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.jsonl"
+        metrics_path = tmp_path / "m.json"
+        assert (
+            cli.main(
+                [
+                    "sort-reads",
+                    "--trace",
+                    str(trace_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace event(s)" in out
+        assert "metrics snapshot" in out
+
+        events = load_jsonl(trace_path)
+        assert events
+
+        analyzer = TraceAnalyzer(events)
+        latencies = analyzer.binding_latencies()
+        assert latencies and all(lat >= 0 for lat in latencies)
+        utilization = analyzer.lead_time_utilization()
+        assert utilization
+        assert all(0.0 <= u <= 1.0 for u in utilization.values())
+        summary = analyzer.summary()
+        assert summary["binding_latency"]["count"] == len(latencies)
+        assert summary["reads"]["memory"] > 0
+
+        # The real workload's trace also satisfies the invariants.
+        assert TraceInvariants(events).violations() == []
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["jobs_finished_total"]["value"] > 0
+        assert snapshot["job_duration_seconds"]["count"] > 0
+        assert any(key.startswith("job_lead_time_seconds") for key in snapshot)
+
+    def test_without_flags_nothing_is_written(self, tmp_path, capsys):
+        assert cli.main(["micro"]) == 0
+        out = capsys.readouterr().out
+        assert "trace event(s)" not in out
+        assert "metrics snapshot" not in out
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,112 @@
+"""End-to-end lifecycle traces from a real simulated run.
+
+Runs a paper-shaped system under ``tracing()`` and checks that the
+migration lifecycle of §III shows up in the stream in causal order:
+``request -> pending -> bind -> mlock_start -> mlock_done``, with
+memory reads only after ``mlock_done`` and every eviction preceded by
+a buffer release.
+"""
+
+import pytest
+
+from repro.experiments.common import PaperSetup, build_system
+from repro.obs import trace as T
+from repro.obs.trace import tracing
+from repro.units import GB
+from repro.workloads.sort import sort_job
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    with tracing() as tracer:
+        system = build_system(
+            PaperSetup(scheme="dyrs", seed=11, interference="alt-10s-1")
+        )
+        job = sort_job(system, size=4 * GB, job_id="s", extra_lead_time=20.0)
+        system.runtime.run_to_completion([job])
+    return tracer.events
+
+
+def _first_index(events, etype, block):
+    for i, e in enumerate(events):
+        if e.type == etype and e.fields.get("block") == block:
+            return i
+    return None
+
+
+class TestLifecycleOrdering:
+    def test_all_stages_present(self, traced_run):
+        types = {e.type for e in traced_run}
+        assert {
+            T.REQUEST,
+            T.PENDING,
+            T.BIND,
+            T.MLOCK_START,
+            T.MLOCK_DONE,
+            T.READ_MEMORY,
+            T.JOB_SUBMIT,
+            T.JOB_FINISH,
+        } <= types
+
+    def test_per_block_stage_order(self, traced_run):
+        done_blocks = {
+            e.fields["block"]
+            for e in traced_run
+            if e.type == T.MLOCK_DONE and e.fields.get("dest", "memory") == "memory"
+        }
+        assert done_blocks
+        for block in done_blocks:
+            indices = [
+                _first_index(traced_run, etype, block)
+                for etype in (
+                    T.REQUEST,
+                    T.PENDING,
+                    T.BIND,
+                    T.MLOCK_START,
+                    T.MLOCK_DONE,
+                )
+            ]
+            assert None not in indices, f"block {block} missing a stage"
+            assert indices == sorted(indices), f"block {block} out of order"
+
+    def test_memory_reads_follow_mlock_done(self, traced_run):
+        done_at = {}
+        for i, e in enumerate(traced_run):
+            if e.type == T.MLOCK_DONE and e.fields.get("dest", "memory") == "memory":
+                done_at.setdefault(e.fields["block"], i)
+        memory_reads = [
+            (i, e) for i, e in enumerate(traced_run) if e.type == T.READ_MEMORY
+        ]
+        assert memory_reads
+        for i, e in memory_reads:
+            block = e.fields["block"]
+            assert block in done_at and done_at[block] < i
+
+    def test_evictions_preceded_by_buffer_release(self, traced_run):
+        released = set()
+        for e in traced_run:
+            is_memory_release = (
+                e.type == T.BUFFER_RELEASE
+                and e.fields.get("tier", "memory") == "memory"
+            )
+            if is_memory_release:
+                released.add((e.fields.get("node"), e.fields["block"]))
+            elif e.type == T.EVICTED:
+                key = (e.fields.get("node"), e.fields["block"])
+                if key[0] is not None:
+                    assert key in released
+
+    def test_times_are_monotone_nonnegative(self, traced_run):
+        last = 0.0
+        for e in traced_run:
+            if e.time is None:
+                continue
+            assert e.time >= last
+            last = e.time
+
+    def test_job_window_fields_recorded(self, traced_run):
+        finishes = [e for e in traced_run if e.type == T.JOB_FINISH]
+        assert len(finishes) == 1
+        f = finishes[0].fields
+        assert f["job"] == "s"
+        assert f["submitted"] <= f["first_task_start"]

@@ -1,0 +1,117 @@
+"""MetricsRegistry: instruments, labels, snapshots, no-op default."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    collecting,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(2.0)
+        assert g.value == 13.0
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram(bounds=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.9, 3.0, 7.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.overflow == 1
+        assert h.count == 5
+        assert h.sum == pytest.approx(111.4)
+        assert h.mean == pytest.approx(111.4 / 5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(5.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("reads") is reg.counter("reads")
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("reads", node=1)
+        b = reg.counter("reads", node=2)
+        assert a is not b
+        a.inc()
+        assert reg.counter("reads", node=1).value == 1.0
+        assert reg.counter("reads", node=2).value == 0.0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("x", a=1, b=2) is reg.gauge("x", b=2, a=1)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("moves", source="disk", dest="memory").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        assert snap["moves{dest=memory,source=disk}"] == {
+            "type": "counter",
+            "value": 3.0,
+        }
+        assert snap["depth"]["value"] == 7.0
+        assert snap["lat"]["buckets"] == {"1.0": 0, "2.0": 1}
+
+    def test_dump_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = reg.dump_json(tmp_path / "m.json")
+        assert json.loads(path.read_text()) == {
+            "c": {"type": "counter", "value": 1.0}
+        }
+
+
+class TestNullRegistry:
+    def test_default_is_null(self):
+        assert active_registry() is NULL_REGISTRY
+        assert not active_registry().enabled
+
+    def test_null_instruments_record_nothing(self):
+        c = NULL_REGISTRY.counter("x")
+        c.inc(100)
+        g = NULL_REGISTRY.gauge("y")
+        g.set(5)
+        h = NULL_REGISTRY.histogram("z")
+        h.observe(3)
+        assert c.value == 0.0
+        assert g.value == 0.0
+        assert h.count == 0
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_collecting_scopes_and_restores(self):
+        with collecting() as reg:
+            assert active_registry() is reg
+            reg.counter("n").inc()
+        assert active_registry() is NULL_REGISTRY
+        assert reg.snapshot()["n"]["value"] == 1.0

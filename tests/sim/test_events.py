@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, EventAlreadyTriggered, Simulator
+from repro.sim import AllOf, AnyOf, EventAlreadyTriggered, Simulator
 
 
 @pytest.fixture
@@ -61,7 +61,9 @@ class TestEvent:
     def test_remove_callback(self, sim):
         ev = sim.event()
         seen = []
-        cb = lambda e: seen.append(1)
+        def cb(e):
+            seen.append(1)
+
         ev.add_callback(cb)
         ev.remove_callback(cb)
         ev.succeed()

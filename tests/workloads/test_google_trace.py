@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.workloads.google_trace import (
-    GoogleTraceModel,
     generate_job_records,
     generate_node_utilization,
 )
