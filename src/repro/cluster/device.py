@@ -215,6 +215,15 @@ class Channel:
         """Floor on aggregate throughput as a fraction of capacity."""
         return self.kernel.min_efficiency
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change peak throughput at runtime.
+
+        The chaos layer's degraded-device faults (a failing disk, a
+        half-duplex NIC negotiation) flow through here; in-flight
+        transfers re-pace from this instant.
+        """
+        self.kernel.set_capacity(capacity)
+
     def aggregate_rate(self, k: Optional[int] = None) -> float:
         """Aggregate throughput with ``k`` concurrent flows (bytes/s)."""
         return self.kernel.aggregate_rate(k)

@@ -90,11 +90,21 @@ class Node:
         by the (dead) slave process, so a replacement starts cold.
         """
         self.alive = False
-        for key in self.memory.pinned_keys():
-            self.memory.unpin(key)
-        if self.ssd is not None:
-            for key in self.ssd.pinned_keys():
-                self.ssd.unpin(key)
+        # Route through the DataNode when attached so the buffer loss
+        # is traced (buffer_release events); the conservation invariant
+        # audits every byte that leaves memory, crashes included.
+        if self.datanode is not None:
+            for key in self.memory.pinned_keys():
+                self.datanode.unpin_block(key)
+            if self.ssd is not None:
+                for key in self.ssd.pinned_keys():
+                    self.datanode.unpin_block_ssd(key)
+        else:
+            for key in self.memory.pinned_keys():
+                self.memory.unpin(key)
+            if self.ssd is not None:
+                for key in self.ssd.pinned_keys():
+                    self.ssd.unpin(key)
 
     def recover(self) -> None:
         """Bring the server back up (with cold memory)."""

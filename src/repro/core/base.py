@@ -39,6 +39,12 @@ class MigrationMaster:
     #: reads").  A DYRS-family feature; Ignem predates it.
     discards_on_missed_read = True
 
+    #: Whether the master process is up.  A crashed master (§III-C1)
+    #: receives nothing: migration requests sent to it are lost and
+    #: pull RPCs get no response.  Only masters with a crash/recover
+    #: path ever flip this.
+    alive = True
+
     def __init__(self, namenode: "NameNode") -> None:
         self.namenode = namenode
         self.sim = namenode.sim
@@ -77,6 +83,10 @@ class MigrationMaster:
         reference; blocks whose previous record is terminal get a fresh
         record.  Returns the *new* records created.
         """
+        if not self.alive:
+            # §III-C1: requests during a master outage are simply lost
+            # -- the affected jobs read from disk.
+            return []
         implicit = eviction is EvictionMode.IMPLICIT
         new_records: list[MigrationRecord] = []
         for block in self.namenode.blocks_of(files):
@@ -223,10 +233,37 @@ class MigrationMaster:
         self._on_new_records([replacement])
         return replacement
 
+    def requeue_undelivered(self, records: list[MigrationRecord]) -> int:
+        """Return grants whose delivery to a slave failed (§III-C2).
+
+        The pull protocol binds records at the master and ships them in
+        the RPC response; if the slave died (or was restarted -- a new
+        epoch) before the response landed, the bindings would otherwise
+        be stranded BOUND forever: the *node* stays available, so
+        :meth:`reclaim_unavailable`-style detectors never fire.  Each
+        undelivered record is discarded (a ``dropped`` trace event with
+        reason ``undelivered``) and re-queued as fresh PENDING work if
+        any job still wants the block.  Returns the number requeued.
+        """
+        requeued = 0
+        for record in records:
+            if record.status is not MigrationStatus.BOUND:
+                continue  # already handled (e.g. on_slave_failed ran first)
+            self.discard(record, reason="undelivered")
+            if self.tracker.is_referenced(record.block_id):
+                self._remigrate(record.block)
+                requeued += 1
+        return requeued
+
     def _requeue_after_failure(self, record: MigrationRecord) -> MigrationRecord:
         """Replace a record lost to a slave failure with a fresh
         PENDING one (bindings are final, so the old record dies)."""
         self.discard(record, reason="slave-failure")
+        if not self.tracker.is_referenced(record.block_id):
+            # Nobody wants the block anymore; a replacement would pend
+            # forever (the unreferenced hook already fired for the old
+            # record and never fires again).
+            return record
         return self._remigrate(record.block)
 
     def _on_unreferenced(self, block_id: BlockId) -> None:
@@ -238,6 +275,15 @@ class MigrationMaster:
             self._evict_done_record(record)
         elif record.status in (MigrationStatus.PENDING, MigrationStatus.BOUND):
             self.discard(record, reason="unreferenced")
+        elif record.status is MigrationStatus.ACTIVE:
+            # A live copy is about to finish -- leave it alone and let
+            # on_migration_complete evict.  But a copy claimed by a
+            # *dead* slave process can never finish; without a discard
+            # here the record outlives every reference (masters without
+            # a reclaim loop, e.g. Ignem, would leak it forever).
+            slave = self.slaves.get(record.bound_node)
+            if slave is None or not slave.alive:
+                self.discard(record, reason="unreferenced")
 
     def _evict_done_record(self, record: MigrationRecord) -> None:
         node_id = self.namenode.memory_directory.get(record.block_id)

@@ -69,6 +69,21 @@ class DyrsConfig:
         updated the estimate upon the completion of a migration which
         resulted in a slow update", §V-F2); the ablation bench flips
         this off to reproduce that comparison.
+    rpc_timeout:
+        Budget for one pull RPC round trip.  ``None`` (the default)
+        reproduces the paper's unbounded RPC: the slave waits however
+        long the round trip takes.  With a budget, a pull that exceeds
+        it is abandoned -- any grant the master made is requeued when
+        the lost response would have arrived -- and retried per
+        ``rpc_max_retries``.  Chaos campaigns set this so partitions
+        and delayed-RPC spikes cannot wedge the pull loop.
+    rpc_max_retries:
+        Timed-out pull attempts retried before giving up (the worker
+        loop re-polls at heartbeat cadence anyway, so giving up only
+        costs latency, never liveness).  0 disables retry.
+    rpc_backoff_base / rpc_backoff_factor:
+        Delay before retry ``n`` (1-based) is
+        ``base * factor ** (n - 1)`` -- classic exponential backoff.
     """
 
     ewma_alpha: float = 0.4
@@ -80,6 +95,10 @@ class DyrsConfig:
     gc_threshold: float = 0.9
     reference_block_size: float = DEFAULT_BLOCK_SIZE
     estimator_refresh: bool = True
+    rpc_timeout: Optional[float] = None
+    rpc_max_retries: int = 0
+    rpc_backoff_base: float = 0.1
+    rpc_backoff_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if not 0 < self.ewma_alpha <= 1:
@@ -105,6 +124,22 @@ class DyrsConfig:
                 f"reference_block_size must be positive, "
                 f"got {self.reference_block_size}"
             )
+        if self.rpc_timeout is not None and self.rpc_timeout <= 0:
+            raise ValueError(
+                f"rpc_timeout must be positive or None, got {self.rpc_timeout}"
+            )
+        if self.rpc_max_retries < 0:
+            raise ValueError(
+                f"rpc_max_retries must be >= 0, got {self.rpc_max_retries}"
+            )
+        if self.rpc_backoff_base < 0:
+            raise ValueError(
+                f"rpc_backoff_base must be >= 0, got {self.rpc_backoff_base}"
+            )
+        if self.rpc_backoff_factor < 1:
+            raise ValueError(
+                f"rpc_backoff_factor must be >= 1, got {self.rpc_backoff_factor}"
+            )
 
 
 class DyrsMaster(MigrationMaster):
@@ -123,6 +158,12 @@ class DyrsMaster(MigrationMaster):
         self._pending: dict[BlockId, MigrationRecord] = {}
         #: Latest per-slave load from heartbeats.
         self._loads: dict[int, SlaveLoad] = {}
+        #: When each slave last reported via heartbeat.  A slave whose
+        #: *process* died while its node keeps heartbeating stops
+        #: contributing payloads; staleness here is how the master
+        #: notices and reclaims its bound work (§III-C2's "missed
+        #: heartbeats" at process granularity).
+        self._last_slave_report: dict[int, float] = {}
         self.binding_log: list[BindingEvent] = []
         self.retarget_passes = 0
         self._retarget_proc: Optional[Process] = None
@@ -137,6 +178,7 @@ class DyrsMaster(MigrationMaster):
             seconds_per_byte=slave.estimator.seconds_per_byte,
             queued_blocks=slave.queued_blocks,
         )
+        self._last_slave_report[slave.node_id] = self.sim.now
 
     def attach_heartbeats(self, service: "HeartbeatService") -> None:
         """Subscribe to heartbeat payloads and register slave
@@ -151,6 +193,7 @@ class DyrsMaster(MigrationMaster):
         queued = report.payload.get("dyrs.queued_blocks")
         if spb is None or queued is None:
             return
+        self._last_slave_report[report.node_id] = report.time
         self._loads[report.node_id] = SlaveLoad(
             seconds_per_byte=spb, queued_blocks=queued
         )
@@ -178,6 +221,12 @@ class DyrsMaster(MigrationMaster):
         """
         obs.emit(obs.MASTER_CRASH, self.sim.now, pending_lost=len(self._pending))
         self.stop()
+        self.alive = False
+        # The records themselves must still reach a terminal state (the
+        # chaos liveness invariant); "forgotten" means discarded, not
+        # left PENDING in a dead process forever.
+        for record in list(self._pending.values()):
+            self.discard(record, reason="master-crash")
         self._pending.clear()
         self._loads.clear()
         self.namenode.memory_directory.clear()
@@ -189,11 +238,15 @@ class DyrsMaster(MigrationMaster):
         ("its state eventually becomes consistent as slaves clean up
         their buffers", §III-C1).
         """
+        self.alive = True
         for slave in self.slaves.values():
             self._loads[slave.node_id] = SlaveLoad(
                 seconds_per_byte=slave.estimator.seconds_per_byte,
                 queued_blocks=slave.queued_blocks,
             )
+            # Grant slaves a fresh grace period: stale report times from
+            # before the outage must not trigger an instant reclaim.
+            self._last_slave_report[slave.node_id] = self.sim.now
             for block_id in slave.datanode.memory_block_ids():
                 self.namenode.record_memory_replica(block_id, slave.node_id)
         obs.emit(
@@ -250,17 +303,31 @@ class DyrsMaster(MigrationMaster):
         Covers whole-server failures where no replacement process ever
         registers: the missed-heartbeat detector flags the node and the
         next retarget tick pulls its unfinished bindings back
-        (§III-C2).  Returns the number of records reclaimed.
+        (§III-C2).  Also covers *process* deaths on a live node: the
+        node keeps heartbeating (so it stays available) but a dead
+        slave contributes no ``dyrs.*`` payload, so its entry in
+        ``_last_slave_report`` goes stale and its bound work is
+        reclaimed here.  Returns the number of records reclaimed.
         """
         from repro.core.records import MigrationStatus
 
+        stale_after = (
+            self.namenode.heartbeat_interval * self.namenode.heartbeat_miss_limit
+        )
         reclaimed = 0
         for record in list(self._records.values()):
             if (
-                record.status in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
-                and record.bound_node is not None
-                and not self.namenode.is_available(record.bound_node)
+                record.status not in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
+                or record.bound_node is None
             ):
+                continue
+            node_id = record.bound_node
+            node_dead = not self.namenode.is_available(node_id)
+            report_stale = (
+                self.sim.now - self._last_slave_report.get(node_id, self.sim.now)
+                > stale_after
+            )
+            if node_dead or report_stale:
                 self._requeue_after_failure(record)
                 reclaimed += 1
         return reclaimed
@@ -299,13 +366,18 @@ class DyrsMaster(MigrationMaster):
             granted.append(record)
         if granted:
             slave = self.slaves[node_id]
-            for record in granted:
+            # Depth grows one binding at a time: record i of this grant
+            # lands on top of the slave's queue plus the i records bound
+            # just before it (not a uniform base + len(granted)).
+            base = slave.queued_blocks
+            for i, record in enumerate(granted):
+                depth = base + i + 1
                 self.binding_log.append(
                     BindingEvent(
                         time=self.sim.now,
                         block_id=record.block_id,
                         node_id=node_id,
-                        queue_depth_after=slave.queued_blocks + len(granted),
+                        queue_depth_after=depth,
                     )
                 )
                 obs.emit(
@@ -313,7 +385,7 @@ class DyrsMaster(MigrationMaster):
                     self.sim.now,
                     block=record.block_id,
                     node=node_id,
-                    queue_depth=slave.queued_blocks + len(granted),
+                    queue_depth=depth,
                 )
             # Granting work changes the slave's backlog; fold that into
             # our view immediately rather than waiting a heartbeat.

@@ -87,6 +87,16 @@ class DyrsSlave:
         self._ssd_worker: Optional[Process] = None
         self._ssd_space_signal: Optional[Event] = None
         self._pull_in_flight = False
+        #: Process generation.  Bumped on every crash so RPC responses
+        #: addressed to a dead incarnation cannot feed (or unwedge) a
+        #: restarted one -- the sim equivalent of an epoch number in the
+        #: RPC header.
+        self._epoch = 0
+        #: Master<->slave link state (chaos fault): a partitioned slave
+        #: keeps running but its pulls and heartbeats are blackholed.
+        self._partitioned = False
+        #: Extra one-way RPC delay (chaos fault: delayed-RPC spike).
+        self._rpc_extra = 0.0
         self.alive = False
         #: Completed migrations: (record, duration), for metrics.
         self.completed: list[tuple[MigrationRecord, float]] = []
@@ -148,6 +158,11 @@ class DyrsSlave:
         if not self.alive:
             return
         self.alive = False
+        # Invalidate any in-flight pull: its response now addresses a
+        # dead epoch and must not be delivered to (or clear flags of)
+        # whatever process runs here next.
+        self._epoch += 1
+        self._pull_in_flight = False
         obs.emit(obs.SLAVE_CRASH, self.sim.now, node=self.node_id)
         for record in (self._active, self._ssd_active):
             # Close the copy interval of any migration the dead process
@@ -188,7 +203,8 @@ class DyrsSlave:
             raise RuntimeError(f"slave {self.node_id} is already running")
         obs.emit(obs.SLAVE_RESTART, self.sim.now, node=self.node_id)
         self.master.on_slave_failed(self.node_id)
-        self._pull_in_flight = False
+        # _pull_in_flight was reset by crash(); a pre-crash pull still
+        # in flight belongs to the old epoch and can no longer touch it.
         self.start()
 
     # -- master-facing API ------------------------------------------------------------
@@ -224,6 +240,12 @@ class DyrsSlave:
     def heartbeat_payload(self) -> dict:
         """Heartbeat contributor: refresh the estimator against the
         active migration (§IV-A) and report load (§III-D)."""
+        if not self.alive:
+            # The node's DataNode keeps heartbeating, but a dead slave
+            # process contributes nothing; the master notices the
+            # missing dyrs.* keys as report staleness and reclaims the
+            # process's bound work.
+            return {}
         if (
             self.config.estimator_refresh
             and self._active is not None
@@ -269,20 +291,113 @@ class DyrsSlave:
         self._pull_in_flight = True
         self.sim.process(self._pull(space), name=f"pull:{self.node_id}")
 
+    def _rpc_leg_delay(self) -> float:
+        """One-way RPC delay including any injected spike."""
+        return self.config.rpc_latency + self._rpc_extra
+
     def _pull(self, space: int):
+        """One pull, with optional timeout/retry (the hardened path).
+
+        The epoch is captured at launch; if the slave crashes while the
+        RPC is in flight, every subsequent delivery or flag update is
+        fenced off by the epoch mismatch.
+        """
+        epoch = self._epoch
         try:
-            if self.config.rpc_latency > 0:
-                yield self.sim.timeout(self.config.rpc_latency)
-            records = self.master.request_work(self.node_id, space)
-            if self.config.rpc_latency > 0:
-                yield self.sim.timeout(self.config.rpc_latency)
+            attempt = 0
+            while True:
+                completed = yield from self._pull_once(space, epoch)
+                if (
+                    completed
+                    or attempt >= self.config.rpc_max_retries
+                    or not self.alive
+                    or self._epoch != epoch
+                ):
+                    return
+                attempt += 1
+                obs.emit(
+                    obs.RPC_RETRY, self.sim.now, node=self.node_id, attempt=attempt
+                )
+                backoff = self.config.rpc_backoff_base * (
+                    self.config.rpc_backoff_factor ** (attempt - 1)
+                )
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+                if not self.alive or self._epoch != epoch:
+                    return
         finally:
-            self._pull_in_flight = False
-        if not self.alive:
-            return
-        for record in records:
+            if self._epoch == epoch:
+                self._pull_in_flight = False
+
+    def _pull_once(self, space: int, epoch: int):
+        """One pull RPC round trip; True if it completed (even empty),
+        False if it timed out and is worth retrying.
+
+        With ``rpc_timeout`` unset (the paper's configuration) the
+        timing is byte-identical to the original unbounded pull: wait
+        the outbound leg, ask the master, wait the inbound leg, deliver.
+        """
+        sim = self.sim
+        budget = self.config.rpc_timeout
+        outbound = self._rpc_leg_delay()
+        if budget is not None and outbound >= budget:
+            # The request itself exceeds the budget; nothing was ever
+            # bound at the master, so timing out is side-effect free.
+            yield sim.timeout(budget)
+            obs.emit(obs.RPC_TIMEOUT, sim.now, node=self.node_id, leg="request")
+            return False
+        if outbound > 0:
+            yield sim.timeout(outbound)
+        if self._partitioned or not self.master.alive:
+            # The request is blackholed (partition) or the master is
+            # down: no response will ever come.
+            if budget is None:
+                # Unbounded RPC: model the round trip the original code
+                # took (an empty grant after both legs) and give up
+                # until the worker's next periodic poll.
+                inbound = self._rpc_leg_delay()
+                if inbound > 0:
+                    yield sim.timeout(inbound)
+                return True
+            remaining = budget - outbound
+            if remaining > 0:
+                yield sim.timeout(remaining)
+            obs.emit(obs.RPC_TIMEOUT, sim.now, node=self.node_id, leg="response")
+            return False
+        granted = self.master.request_work(self.node_id, space)
+        inbound = self._rpc_leg_delay()
+        if budget is not None and outbound + inbound > budget:
+            # The response (carrying bound records!) will land after the
+            # deadline; we abandon the call, but the grants are already
+            # bound at the master.  Requeue them at the moment the lost
+            # response would have arrived -- exactly when a real slave's
+            # delivery-failure path would fire.
+            master = self.master
+            if granted:
+                sim.call_at(
+                    sim.now + inbound,
+                    lambda: master.requeue_undelivered(granted),
+                )
+            remaining = budget - outbound
+            if remaining > 0:
+                yield sim.timeout(remaining)
+            obs.emit(obs.RPC_TIMEOUT, sim.now, node=self.node_id, leg="response")
+            return False
+        if inbound > 0:
+            yield sim.timeout(inbound)
+        if not self.alive or self._epoch != epoch:
+            # Crashed (or crashed-and-restarted: new epoch) while the
+            # response was in flight.  The bound records were never
+            # delivered; without this requeue they would stay BOUND
+            # forever -- the node keeps heartbeating, so no failure
+            # detector ever reclaims them.
+            if granted:
+                self.master.requeue_undelivered(granted)
+            return True
+        for record in granted:
             if not record.status.is_terminal:
                 self.enqueue(record)
+        return True
 
     def _run(self):
         sim = self.sim
@@ -418,7 +533,12 @@ class DyrsSlave:
                 )
                 self.master.discard(record, reason="ssd-full")
                 return False
-            self.datanode.pin_block_ssd(block)
+            if not self.datanode.has_ssd_replica(block.block_id):
+                # A copy may already be physically present when a stale
+                # fill lands on a node whose earlier copy lost its
+                # directory entry (e.g. overwritten by a demotion
+                # elsewhere); re-pinning would raise and kill the lane.
+                self.datanode.pin_block_ssd(block)
         else:
             self.datanode.pin_block(block)
         record.mark_done(sim.now)
@@ -430,6 +550,7 @@ class DyrsSlave:
             source=lane,
             dest=record.dest_tier,
             duration=duration,
+            nbytes=block.size,
         )
         self.completed.append((record, duration))
         self.master.on_migration_complete(record, self.node_id, duration)

@@ -77,6 +77,12 @@ class StandbyCoordinator:
         """
         old = self.primary
         old.stop()
+        old.alive = False
+        # Pending records that never crossed to the new master must
+        # still terminate (liveness): anything the dead primary was
+        # holding unbound is discarded, exactly like a crash would.
+        for record in list(old._pending.values()):
+            old.discard(record, reason="failover")
         # Stop the dead master from harvesting future heartbeats.
         observers = self.namenode._heartbeat_observers
         if old.on_heartbeat in observers:

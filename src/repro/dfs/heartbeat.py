@@ -70,7 +70,10 @@ class HeartbeatService:
             if offset:
                 yield sim.timeout(offset)
             while True:
-                if node.alive:
+                # A partitioned node still *sends* (it cannot know the
+                # link is down), but the report is lost in transit; we
+                # skip assembling the payload since nobody receives it.
+                if node.alive and node_id not in self.namenode.partitioned:
                     payload: dict = {}
                     for contributor in self._contributors[node_id]:
                         payload.update(contributor())

@@ -100,6 +100,11 @@ class NameNode:
         self.decommissioning: set[int] = set()
         #: Nodes fully drained and retired from service.
         self.decommissioned: set[int] = set()
+        #: Nodes whose control-plane traffic is being dropped by a
+        #: network partition (chaos fault): their heartbeats never
+        #: arrive, so the miss-counting detector eventually flags them
+        #: even though the node itself is up and serving local tasks.
+        self.partitioned: set[int] = set()
         #: Heartbeat observers, called with each report (the DYRS
         #: master registers here to harvest slave estimates).
         self._heartbeat_observers: list = []
@@ -135,6 +140,8 @@ class NameNode:
 
     def receive_heartbeat(self, report: HeartbeatReport) -> None:
         """Record a heartbeat and fan it out to observers."""
+        if report.node_id in self.partitioned:
+            return  # lost on the wire; the miss counter keeps climbing
         self._last_heartbeat[report.node_id] = report.time
         for observer in self._heartbeat_observers:
             observer(report)

@@ -71,6 +71,12 @@ def _micro():
     return (lambda seed=0: micro.run()), micro.report
 
 
+def _chaos():
+    from repro.experiments import chaos
+
+    return chaos.run, chaos.report
+
+
 def _ablations():
     from repro.experiments import ablations
 
@@ -101,6 +107,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "sort-sweeps": ("Fig 11a / Fig 11b", _sort_sweeps),
     "micro": ("§I read-path micro-claims", _micro),
     "ablations": ("DESIGN.md §6 ablations", _ablations),
+    "chaos": ("§III-C chaos soak (invariant-gated)", _chaos),
 }
 
 
@@ -125,10 +132,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         choices=list(EXPERIMENTS) + ["all", "list"],
         help="which experiment to run ('list' to enumerate, 'all' for everything)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--chaos",
+        metavar="SEED",
+        type=int,
+        default=None,
+        help=(
+            "run a seeded chaos campaign (randomized crash/degrade/"
+            "partition faults over scheme x workload) and exit non-zero "
+            "on any invariant violation"
+        ),
+    )
     parser.add_argument(
         "--csv",
         metavar="DIR",
@@ -165,6 +185,16 @@ def main(argv: Optional[list[str]] = None) -> int:
 
         enable_tiered()
         print("[tiered storage enabled: 'dyrs' runs as 'dyrs-tiered']")
+
+    if args.chaos is not None:
+        from repro.experiments import chaos
+
+        results = chaos.run(seed=args.chaos)
+        print(chaos.report(results))
+        return 0 if all(r.ok for r in results) else 1
+
+    if args.experiment is None:
+        parser.error("an experiment name (or --chaos SEED) is required")
 
     if args.experiment == "list":
         for name, (artifact, _) in EXPERIMENTS.items():

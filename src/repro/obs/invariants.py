@@ -20,6 +20,20 @@ the trace convicts it even when unit tests pass.  Checked:
    memory-resident on that node (the eviction path unpins before it
    marks the record).
 
+:meth:`TraceInvariants.liveness_violations` adds the chaos-campaign
+*liveness* conditions -- the properties the stranded-binding fixes
+exist to uphold, checked per run segment:
+
+5. **Every pending record terminates** -- each ``pending`` emission is
+   eventually closed by a ``dropped`` or ``mlock_done`` before the
+   segment ends.  A binding stranded at a dead slave process shows up
+   here as an open record at quiesce.
+6. **Migrated-bytes conservation** -- every byte that entered memory
+   (``mlock_done`` with ``dest=memory``, plus ``preload``) either left
+   through a traced ``buffer_release`` or is still resident at segment
+   end.  Crash paths that silently dropped buffers would break the
+   ledger.
+
 All checks walk the stream in emission order: on a discrete-event
 simulator, same-timestamp events are causally ordered by emission, so
 re-sorting by time would destroy exactly the ordering being verified.
@@ -32,7 +46,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.obs import trace as T
 from repro.obs.trace import TraceEvent, load_jsonl
@@ -143,11 +157,102 @@ class TraceInvariants:
 
         return found
 
+    def liveness_violations(
+        self, final_memory_bytes: Optional[float] = None
+    ) -> list[str]:
+        """Chaos liveness + conservation checks (5 and 6 above).
+
+        These only hold once the system has *quiesced* -- run them on a
+        trace captured after all jobs drained and every scheduled
+        recovery fired, not mid-flight (an open record mid-run is just
+        work in progress).
+
+        ``final_memory_bytes`` (optional, single-run traces): the
+        actual pinned-byte total at quiesce, e.g.
+        ``cluster.total_memory_used()``.  The ledger built from
+        ``mlock_done``/``preload`` minus ``buffer_release`` must agree
+        with it exactly; a crash path that unpins without tracing (or
+        traces without unpinning) breaks the equality.
+        """
+        found: list[str] = []
+        # block -> records opened by PENDING and not yet closed
+        open_records: dict[str, int] = defaultdict(int)
+        # (node, block) -> bytes resident per the trace ledger
+        ledger: dict[tuple[str, str], float] = {}
+        segment = 0
+
+        def close_segment() -> None:
+            for block, n in sorted(open_records.items()):
+                if n > 0:
+                    found.append(
+                        f"segment {segment}: record for {block} never "
+                        f"reached a terminal state ({n} still open at "
+                        "quiesce -- stranded binding or lost pending)"
+                    )
+
+        for event in self.events:
+            etype, f = event.type, event.fields
+            if etype == T.RUN_START:
+                close_segment()
+                open_records.clear()
+                ledger.clear()
+                segment += 1
+            elif etype == T.PENDING:
+                open_records[f["block"]] += 1
+            elif etype == T.DROPPED:
+                # Any drop closes exactly one open record, whatever
+                # status it had reached (pending, bound, or active).
+                if open_records[f["block"]] > 0:
+                    open_records[f["block"]] -= 1
+            elif etype == T.MLOCK_DONE:
+                if open_records[f["block"]] > 0:
+                    open_records[f["block"]] -= 1
+                if f.get("dest", "memory") == "memory" and "nbytes" in f:
+                    ledger[(f["node"], f["block"])] = f["nbytes"]
+            elif etype == T.PRELOAD:
+                if "nbytes" in f:
+                    ledger[(f["node"], f["block"])] = f["nbytes"]
+            elif etype == T.BUFFER_RELEASE:
+                if f.get("tier", "memory") != "memory":
+                    continue
+                key = (f["node"], f["block"])
+                entered = ledger.pop(key, None)
+                released = f.get("nbytes")
+                if (
+                    entered is not None
+                    and released is not None
+                    and abs(released - entered) > 1e-6
+                ):
+                    found.append(
+                        f"segment {segment}: {f['block']} on "
+                        f"{f['node']} released {released} bytes but "
+                        f"{entered} entered memory (conservation)"
+                    )
+        close_segment()
+        if final_memory_bytes is not None:
+            total = sum(ledger.values())
+            if abs(total - final_memory_bytes) > 1e-6:
+                found.append(
+                    f"conservation: trace ledger holds {total} resident "
+                    f"bytes but memory actually pins {final_memory_bytes}"
+                )
+        return found
+
     def check_all(self) -> None:
         """Raise :class:`InvariantViolation` listing every violation."""
         found = self.violations()
         if found:
             raise InvariantViolation(
                 f"{len(found)} trace invariant violation(s):\n"
+                + "\n".join(f"  - {v}" for v in found)
+            )
+
+    def check_liveness(self, final_memory_bytes: Optional[float] = None) -> None:
+        """Raise on any liveness/conservation violation (see
+        :meth:`liveness_violations`)."""
+        found = self.liveness_violations(final_memory_bytes)
+        if found:
+            raise InvariantViolation(
+                f"{len(found)} liveness invariant violation(s):\n"
                 + "\n".join(f"  - {v}" for v in found)
             )

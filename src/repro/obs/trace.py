@@ -84,6 +84,16 @@ MASTER_CRASH = "master_crash"
 MASTER_RECOVER = "master_recover"
 FAILOVER = "failover"
 ORPHAN_EVICTED = "orphan_evicted"
+#: Pull-protocol hardening events: a pull RPC attempt exceeded its
+#: configured budget, and the slave scheduling another attempt after
+#: backoff.  Only emitted when ``DyrsConfig.rpc_timeout`` is set.
+RPC_TIMEOUT = "rpc_timeout"
+RPC_RETRY = "rpc_retry"
+#: Chaos-campaign fault markers: a fault taking effect and clearing.
+#: ``kind`` names the fault (slave-crash, node-crash, master-crash,
+#: degrade-disk, degrade-nic, partition, rpc-delay).
+FAULT_INJECT = "fault_inject"
+FAULT_CLEAR = "fault_clear"
 
 
 @dataclass(frozen=True)

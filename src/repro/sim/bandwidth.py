@@ -297,6 +297,20 @@ class BandwidthResource:
             return 0.0
         return min(1.0, self._busy_time / elapsed)
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change peak throughput at runtime (degraded-device faults).
+
+        Safe mid-flow: service accrued so far is settled at the old
+        rate first, and the integral only uses the new capacity going
+        forward, so in-flight transfers slow down (or speed up) from
+        this instant without losing progress.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._advance()
+        self.capacity = float(capacity)
+        self._reschedule()
+
     # -- flow control ------------------------------------------------------
 
     def start_flow(self, nbytes: float, tag: str = "") -> Flow:

@@ -159,6 +159,15 @@ class LegacyBandwidthResource:
             return 0.0
         return min(1.0, self._busy_time / elapsed)
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change peak throughput at runtime (kernel-parity with
+        :meth:`repro.sim.bandwidth.BandwidthResource.set_capacity`)."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._advance()
+        self.capacity = float(capacity)
+        self._reschedule()
+
     # -- flow control ------------------------------------------------------
 
     def start_flow(self, nbytes: float, tag: str = "") -> LegacyFlow:

@@ -188,7 +188,11 @@ class System:
                 self.namenode.datanodes[node_id].pin_block(block)
                 self.namenode.record_memory_replica(block.block_id, node_id)
                 obs.emit(
-                    obs.PRELOAD, self.sim.now, block=block.block_id, node=node_id
+                    obs.PRELOAD,
+                    self.sim.now,
+                    block=block.block_id,
+                    node=node_id,
+                    nbytes=block.size,
                 )
 
     def load_inputs(self, files: Sequence[tuple[str, float]]) -> None:

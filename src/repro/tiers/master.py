@@ -173,11 +173,17 @@ class TieredDyrsMaster(DyrsMaster):
         self.namenode.ssd_directory.clear()
 
     def recover(self) -> None:
-        """Rebuild both fast-tier directories from slave pin state."""
+        """Rebuild both fast-tier directories from slave pin state.
+
+        Registration goes through :meth:`_register_ssd_copy`: the outage
+        can leave two nodes physically holding one block (a duplicate
+        fill raced the crash), and the single-slot directory must not
+        silently orphan the loser's pin.
+        """
         super().recover()
         for slave in self.slaves.values():
-            for block_id in slave.datanode.ssd_block_ids():
-                self.namenode.record_ssd_replica(block_id, slave.node_id)
+            for block_id in list(slave.datanode.ssd_block_ids()):
+                self._register_ssd_copy(block_id, slave.node_id)
 
     # -- counters ----------------------------------------------------------------
 
@@ -299,12 +305,29 @@ class TieredDyrsMaster(DyrsMaster):
 
     # -- completion and eviction ---------------------------------------------------
 
+    def _register_ssd_copy(self, block_id: BlockId, node_id: int) -> None:
+        """Register the block's (single) SSD copy.
+
+        The directory holds one entry per block, but physical copies
+        can outlive their entry: a demotion on another node overwrites
+        the entry while the old holder still pins the bytes.  Dropping
+        the previous holder's pin here keeps pin state and directory in
+        lockstep -- an orphaned pin is both a leaked SSD budget and a
+        future double-pin crash when a fill lands on that node again.
+        """
+        prev = self.namenode.ssd_directory.get(block_id)
+        if prev is not None and prev != node_id:
+            dn = self.namenode.datanodes.get(prev)
+            if dn is not None:
+                dn.unpin_block_ssd(block_id)
+        self.namenode.record_ssd_replica(block_id, node_id)
+
     def on_migration_complete(
         self, record: MigrationRecord, node_id: int, duration: float
     ) -> None:
         if record.dest_tier == "ssd":
             self._tier_records.pop(record.block_id, None)
-            self.namenode.record_ssd_replica(record.block_id, node_id)
+            self._register_ssd_copy(record.block_id, node_id)
             self._count_move(record.source_tier, "ssd")
             return
         super().on_migration_complete(record, node_id, duration)
@@ -316,16 +339,25 @@ class TieredDyrsMaster(DyrsMaster):
         charged in the background); COLD blocks and blocks that already
         have an SSD copy fall through to the plain drop."""
         node_id = self.namenode.memory_directory.get(record.block_id)
+        slave = self.slaves.get(node_id) if node_id is not None else None
         if (
             self.tier_config.demote_to_ssd
             and node_id is not None
             and self.namenode.is_available(node_id)
+            # The demotion is work the node's slave performs; a slave
+            # that crashed but is not yet flagged stale cannot write the
+            # SSD copy -- pinning to its node would strand bytes that
+            # staleness detection later orphans (directory dropped,
+            # physical pin already past its crash-time cleanup).
+            and slave is not None
+            and slave.alive
         ):
             dn = self.namenode.datanodes[node_id]
             node = dn.node
             if (
                 node.ssd is not None
                 and not dn.has_ssd_replica(record.block_id)
+                and self._verified_ssd_holder(record.block_id) is None
                 and node.ssd.fits(record.block.size)
                 and self.temperature.classify(record.block_id, self.sim.now)
                 is not Temperature.COLD
@@ -334,11 +366,9 @@ class TieredDyrsMaster(DyrsMaster):
                 self.namenode.drop_memory_replica(record.block_id)
                 dn.pin_block_ssd(record.block)
                 node.ssd.write(record.block.size, tag=f"demote:{record.block_id}")
-                self.namenode.record_ssd_replica(record.block_id, node_id)
+                self._register_ssd_copy(record.block_id, node_id)
                 self._count_move("memory", "ssd")
-                slave = self.slaves.get(node_id)
-                if slave is not None:
-                    slave.notify_memory_freed()
+                slave.notify_memory_freed()
                 record.mark_evicted()
                 obs.emit(
                     obs.DEMOTE,

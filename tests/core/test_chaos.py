@@ -1,0 +1,460 @@
+"""Chaos layer tests: stranded-binding fixes, fault injectors, campaigns.
+
+The headline regression here reproduces the pull-protocol leak: records
+bound by ``request_work`` during an in-flight pull RPC were silently
+dropped when the slave crashed before the response landed.  The node
+stays up and heartbeating, so no availability detector ever fired --
+the records stayed BOUND for as long as any job referenced them.
+"""
+
+import pytest
+
+from repro.core.failures import ChaosCampaign, FailureInjector
+from repro.core.master import DyrsConfig
+from repro.core.records import MigrationStatus
+from repro.obs import trace as T
+from repro.obs.trace import tracing
+from repro.units import MB
+
+
+def _arm_mid_pull_crash(rig, after=0.02, then=None):
+    """Crash the granted-to slave ``after`` seconds after its pull RPC
+    binds records at the master -- inside the response leg (rpc_latency
+    is 0.05 each way), so the grants are in flight when it dies.
+    Returns a dict that fills in with the victim and its records."""
+    captured = {}
+    original = rig.master.request_work
+
+    def wrapper(node_id, max_blocks):
+        granted = original(node_id, max_blocks)
+        if granted and "victim" not in captured:
+            captured["victim"] = node_id
+            captured["records"] = list(granted)
+            slave = rig.master.slaves[node_id]
+
+            def _crash():
+                slave.crash()
+                if then is not None:
+                    then(slave)
+
+            rig.sim.call_at(rig.sim.now + after, _crash)
+        return granted
+
+    rig.master.request_work = wrapper
+    return captured
+
+
+class TestStrandedBindingRegression:
+    def test_old_behavior_strands_bound_records(self, rig, monkeypatch):
+        """With the two new reclaim paths disabled, a crash mid-RPC
+        leaves the grants BOUND forever -- the pre-fix behavior."""
+        monkeypatch.setattr(
+            type(rig.master), "requeue_undelivered", lambda self, records: 0
+        )
+        # The old reclaim only looked at node availability; the node
+        # stays up here, so it never fired.  Emulate by disabling it.
+        rig.master.reclaim_unavailable = lambda: 0
+        captured = _arm_mid_pull_crash(rig)
+        rig.client.create_file("input", 256 * MB)
+        rig.master.migrate(["input"], job_id="j1")  # j1 never finishes
+        rig.sim.run(until=60)
+        assert captured, "no pull ever granted records"
+        stuck = [r for r in captured["records"] if r.status is MigrationStatus.BOUND]
+        assert stuck, "expected stranded BOUND records under old behavior"
+        for record in stuck:
+            assert record.block_id not in rig.namenode.memory_directory
+
+    def test_undelivered_grants_requeued_and_migrated_elsewhere(self, rig):
+        """Fixed behavior: delivery failure requeues the grants; the
+        blocks still land in memory, on a different node."""
+        with tracing() as tracer:
+            captured = _arm_mid_pull_crash(rig)
+            rig.client.create_file("input", 256 * MB)
+            rig.master.migrate(["input"], job_id="j1")
+            rig.sim.run(until=120)
+        assert captured
+        victim = captured["victim"]
+        for record in captured["records"]:
+            assert record.status.is_terminal
+        dropped = [
+            e for e in tracer.of_type(T.DROPPED)
+            if e.fields.get("reason") == "undelivered"
+        ]
+        assert dropped, "delivery failure must trace the dropped path"
+        for block in rig.client.blocks_of(["input"]):
+            node = rig.namenode.memory_directory.get(block.block_id)
+            assert node is not None and node != victim
+
+    def test_requeue_skips_unreferenced_blocks(self, rig):
+        """A grant whose job vanished while the RPC flew is dropped
+        without creating a replacement that would pend forever."""
+
+        def _finish_job(slave):
+            rig.master.notify_job_finished("j1")
+
+        captured = _arm_mid_pull_crash(rig, then=_finish_job)
+        rig.client.create_file("input", 128 * MB)
+        rig.master.migrate(["input"], job_id="j1")
+        rig.sim.run(until=60)
+        assert captured
+        # Every record -- granted or not -- must be terminal: the job
+        # is gone, so nothing may be left open or replaced.
+        for record in rig.master.record_log:
+            assert record.status.is_terminal
+
+
+class TestSlaveEpochGuard:
+    def test_stale_response_cannot_feed_restarted_slave(self, rig):
+        """Crash + instant restart while the response is in flight: the
+        new process (new epoch) must not receive the old grants."""
+        captured = _arm_mid_pull_crash(rig, then=lambda slave: slave.restart())
+        rig.client.create_file("input", 256 * MB)
+        rig.master.migrate(["input"], job_id="j1")
+        rig.sim.run(until=120)
+        assert captured
+        for record in captured["records"]:
+            # The original grants were discarded (replaced by fresh
+            # records), never enqueued on the restarted process.
+            assert record.status is MigrationStatus.DISCARDED
+        # ... and the restarted slave still works: everything migrates.
+        for block in rig.client.blocks_of(["input"]):
+            assert block.block_id in rig.namenode.memory_directory
+
+    def test_crash_resets_pull_flag_for_next_incarnation(self, rig):
+        slave = rig.slaves[0]
+        slave._pull_in_flight = True  # as if a pull were mid-flight
+        epoch = slave._epoch
+        slave.crash()
+        assert slave._pull_in_flight is False
+        assert slave._epoch == epoch + 1  # old responses are fenced off
+        slave.restart()
+        assert slave.alive
+        assert slave._pull_in_flight is False
+
+
+class TestFailureTimingWindows:
+    def test_crash_while_waiting_on_memory_space(self, rig):
+        """A record bound to a slave stalled on the memory limit must
+        be reclaimed (stale slave report) when that process dies and
+        never restarts -- the node itself keeps heartbeating."""
+        for node in rig.cluster.nodes:
+            node.memory.pin("filler", node.memory.spec.capacity - 32 * MB)
+        rig.client.create_file("input", 64 * MB)
+        rig.master.migrate(["input"], job_id="j1")
+        record = rig.master.record_log[0]
+        while record.bound_node is None and rig.sim.now < 30.0:
+            rig.sim.run(until=rig.sim.now + 0.5)
+        assert record.bound_node is not None, "record never bound"
+        victim = record.bound_node
+        # Not enough memory anywhere: the migration is parked in the
+        # space-wait loop, record still non-terminal.
+        assert not record.status.is_terminal
+        rig.master.slaves[victim].crash()  # never restarted
+        for node in rig.cluster.nodes:
+            if node.node_id != victim:
+                node.memory.unpin("filler")
+                rig.master.slaves[node.node_id].notify_memory_freed()
+        rig.sim.run(until=rig.sim.now + 60)
+        assert record.status.is_terminal
+        landed = rig.namenode.memory_directory.get(record.block_id)
+        assert landed is not None and landed != victim
+
+    def test_master_crash_discards_pending_records(self, rig):
+        rig.client.create_file("input", 1024 * MB)
+        rig.master.migrate(["input"], job_id="j1")
+        with tracing() as tracer:
+            rig.master.crash()
+        assert rig.master.pending_count == 0
+        reasons = {e.fields.get("reason") for e in tracer.of_type(T.DROPPED)}
+        assert reasons == {"master-crash"}
+        # Nothing may be left open: every record is terminal or already
+        # safely bound at a slave (which keeps working, §III-C1).
+        for record in rig.master.record_log:
+            assert record.status.is_terminal or record.bound_node is not None
+
+    def test_migrate_during_master_outage_is_lost(self, rig):
+        rig.master.crash()
+        rig.client.create_file("input", 64 * MB)
+        assert rig.master.migrate(["input"], job_id="j1") == []
+        rig.master.recover()
+        assert rig.master.migrate(["input"], job_id="j2")
+
+
+class TestNodeRecoverySnapshot:
+    def test_node_recover_does_not_resurrect_previously_dead_slave(self, rig):
+        injector = FailureInjector(rig.cluster, rig.master)
+        injector.crash_slave_at(2.0, node_id=1)  # independent, no restart
+        injector.crash_node_at(5.0, node_id=1, recover_after=10.0)
+        rig.sim.run(until=30)
+        assert rig.cluster.node(1).alive
+        # The node failure found the slave already dead, so its
+        # recovery must not restart it.
+        assert not rig.slaves[1].alive
+
+    def test_node_recover_restarts_slave_it_killed(self, rig):
+        injector = FailureInjector(rig.cluster, rig.master)
+        injector.crash_node_at(5.0, node_id=1, recover_after=10.0)
+        rig.sim.run(until=6)
+        assert not rig.slaves[1].alive
+        rig.sim.run(until=30)
+        assert rig.cluster.node(1).alive
+        assert rig.slaves[1].alive
+
+
+class TestDeviceFaults:
+    def test_degrade_disk_restores_nominal(self, rig):
+        channel = rig.cluster.node(0).disk.channel
+        nominal = channel.capacity
+        injector = FailureInjector(rig.cluster, rig.master)
+        injector.degrade_disk_at(5.0, node_id=0, factor=0.25, restore_after=10.0)
+        rig.sim.run(until=6)
+        assert channel.capacity == pytest.approx(nominal * 0.25)
+        rig.sim.run(until=20)
+        assert channel.capacity == pytest.approx(nominal)
+
+    def test_degrade_nic_covers_both_directions(self, rig):
+        nic = rig.cluster.node(2).nic
+        nominal = nic.egress.capacity
+        injector = FailureInjector(rig.cluster, rig.master)
+        injector.degrade_nic_at(1.0, node_id=2, factor=0.5, restore_after=5.0)
+        rig.sim.run(until=2)
+        assert nic.egress.capacity == pytest.approx(nominal * 0.5)
+        assert nic.ingress.capacity == pytest.approx(nominal * 0.5)
+        rig.sim.run(until=10)
+        assert nic.egress.capacity == pytest.approx(nominal)
+        assert nic.ingress.capacity == pytest.approx(nominal)
+
+    def test_degrade_slows_active_migration(self, make_rig):
+        """set_capacity mid-flow: the copy finishes later than in the
+        undegraded run of the same seed."""
+
+        def _completion(r):
+            r.client.create_file("input", 64 * MB)
+            r.master.migrate(["input"], job_id="j1")
+            r.sim.run(until=120)
+            record = r.master.record_log[0]
+            assert record.completed_at is not None
+            return record.completed_at
+
+        baseline = _completion(make_rig())
+        slow = make_rig()
+        injector = FailureInjector(slow.cluster, slow.master)
+        for node in slow.cluster.nodes:
+            injector.degrade_disk_at(
+                0.3, node_id=node.node_id, factor=0.1, restore_after=500.0
+            )
+        assert _completion(slow) > baseline
+
+    def test_degrade_factor_validation(self, rig):
+        injector = FailureInjector(rig.cluster, rig.master)
+        with pytest.raises(ValueError):
+            injector.degrade_disk_at(1.0, 0, factor=0.0, restore_after=1.0)
+        with pytest.raises(ValueError):
+            injector.degrade_disk_at(1.0, 0, factor=1.5, restore_after=1.0)
+        with pytest.raises(ValueError):
+            injector.degrade_disk_at(1.0, 0, factor=0.5, restore_after=0.0)
+
+
+class TestPartitionAndDelay:
+    def test_partition_trips_availability_then_heals(self, rig):
+        injector = FailureInjector(rig.cluster, rig.master)
+        limit = rig.namenode.heartbeat_interval * rig.namenode.heartbeat_miss_limit
+        injector.partition_slave_at(5.0, node_id=1, heal_after=limit + 10)
+        rig.sim.run(until=5 + limit + 2)
+        assert 1 in rig.namenode.partitioned
+        assert rig.slaves[1]._partitioned
+        assert not rig.namenode.is_available(1)
+        rig.sim.run(until=5 + limit + 10 + limit + 2)
+        assert 1 not in rig.namenode.partitioned
+        assert not rig.slaves[1]._partitioned
+        assert rig.namenode.is_available(1)
+
+    def test_partitioned_pull_times_out_and_work_lands_elsewhere(self, make_rig):
+        config = DyrsConfig(
+            reference_block_size=64 * MB, rpc_timeout=0.5, rpc_max_retries=1
+        )
+        rig = make_rig(config=config)
+        injector = FailureInjector(rig.cluster, rig.master)
+        injector.partition_slave_at(0.01, node_id=0, heal_after=500.0)
+        with tracing() as tracer:
+            rig.client.create_file("input", 256 * MB)
+            rig.master.migrate(["input"], job_id="j1")
+            rig.sim.run(until=120)
+        assert tracer.of_type(T.RPC_TIMEOUT), "partitioned pulls must time out"
+        for block in rig.client.blocks_of(["input"]):
+            landed = rig.namenode.memory_directory.get(block.block_id)
+            assert landed is not None and landed != 0
+
+    def test_rpc_delay_injected_and_cleared(self, rig):
+        injector = FailureInjector(rig.cluster, rig.master)
+        injector.delay_rpc_at(2.0, node_id=3, extra=0.7, clear_after=5.0)
+        rig.sim.run(until=3)
+        assert rig.slaves[3]._rpc_extra == pytest.approx(0.7)
+        rig.sim.run(until=10)
+        assert rig.slaves[3]._rpc_extra == 0.0
+
+    def test_retry_after_timeout_emits_retry_event(self, make_rig):
+        config = DyrsConfig(
+            reference_block_size=64 * MB,
+            rpc_timeout=0.3,
+            rpc_max_retries=2,
+            rpc_backoff_base=0.05,
+        )
+        rig = make_rig(config=config)
+        injector = FailureInjector(rig.cluster, rig.master)
+        # The spike makes each response leg exceed the budget; retries
+        # fire, and once it clears the pulls succeed again.
+        injector.delay_rpc_at(0.01, node_id=0, extra=1.0, clear_after=30.0)
+        with tracing() as tracer:
+            rig.client.create_file("input", 128 * MB)
+            rig.master.migrate(["input"], job_id="j1")
+            rig.sim.run(until=120)
+        assert tracer.of_type(T.RPC_RETRY)
+        for block in rig.client.blocks_of(["input"]):
+            assert block.block_id in rig.namenode.memory_directory
+
+
+class TestChaosConfigValidation:
+    def test_rpc_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DyrsConfig(rpc_timeout=0.0)
+
+    def test_retries_nonnegative(self):
+        with pytest.raises(ValueError):
+            DyrsConfig(rpc_max_retries=-1)
+
+    def test_backoff_validation(self):
+        with pytest.raises(ValueError):
+            DyrsConfig(rpc_backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            DyrsConfig(rpc_backoff_factor=0.5)
+
+
+class TestChaosCampaign:
+    def _campaign(self, rig, seed, **kw):
+        injector = FailureInjector(rig.cluster, rig.master)
+        return ChaosCampaign(injector, seed=seed, horizon=100.0, **kw)
+
+    def test_same_seed_same_plan(self, make_rig):
+        a = self._campaign(make_rig(), seed=42).sample()
+        b = self._campaign(make_rig(), seed=42).sample()
+        assert a == b
+
+    def test_different_seed_different_plan(self, make_rig):
+        a = self._campaign(make_rig(), seed=1, n_faults=12).sample()
+        b = self._campaign(make_rig(), seed=2, n_faults=12).sample()
+        assert a != b
+
+    def test_node_crashes_never_overlap(self, make_rig):
+        plan = self._campaign(
+            make_rig(), seed=9, n_faults=40, kinds=("node-crash",)
+        ).sample()
+        outages = sorted(
+            (f.time, f.time + f.duration)
+            for f in plan
+            if f.kind == "node-crash"
+        )
+        for (_, end), (start, _) in zip(outages, outages[1:]):
+            assert end <= start
+
+    def test_master_and_node_crashes_always_recover(self, make_rig):
+        plan = self._campaign(make_rig(), seed=5, n_faults=50).sample()
+        for fault in plan:
+            if fault.kind in ("master-crash", "node-crash"):
+                assert fault.duration is not None
+                assert fault.time + fault.duration < 100.0
+
+    def test_unknown_kind_rejected(self, make_rig):
+        rig = make_rig()
+        with pytest.raises(ValueError):
+            self._campaign(rig, seed=0, kinds=("meteor-strike",))
+
+    def test_arm_schedules_and_fires(self, rig):
+        campaign = self._campaign(rig, seed=3, n_faults=4)
+        plan = campaign.arm()
+        assert len(plan) == 4
+        rig.client.create_file("input", 256 * MB)
+        rig.master.migrate(["input"], job_id="j1")
+        rig.sim.run(until=150)
+        assert campaign.injector.log  # the scheduled faults fired
+
+
+class TestQueueDepthAccounting:
+    def test_grant_depths_are_incremental(self, rig):
+        """Each binding in one grant lands on an incrementally deeper
+        queue -- not the uniform base + len(granted) it used to report."""
+        with tracing() as tracer:
+            rig.client.create_file("input", 512 * MB)  # 8 blocks
+            rig.master.migrate(["input"], job_id="j1")
+            granted = []
+            for node_id in rig.master.slaves:
+                granted = rig.master.request_work(node_id, 8)
+                if len(granted) >= 2:
+                    break
+        assert len(granted) >= 2, "need a multi-record grant"
+        events = [
+            e for e in tracer.of_type(T.BIND) if e.fields["node"] == node_id
+        ]
+        depths = [e.fields["queue_depth"] for e in events[-len(granted):]]
+        assert depths == list(range(1, len(granted) + 1))
+        log_depths = [
+            b.queue_depth_after for b in rig.master.binding_log[-len(granted):]
+        ]
+        assert log_depths == depths
+
+    def test_bind_depth_series_monotone_within_grant(self, rig):
+        """Analyzer view: the per-node depth series steps by one inside
+        a same-timestamp grant burst, with no duplicates."""
+        from repro.obs.analyze import TraceAnalyzer
+
+        with tracing() as tracer:
+            rig.client.create_file("input", 512 * MB)
+            rig.master.migrate(["input"], job_id="j1")
+            rig.sim.run(until=60)
+        analyzer = TraceAnalyzer(tracer.events)
+        for node_id in rig.master.slaves:
+            by_time = {}
+            for t, depth in analyzer.queue_depth_series(node=node_id):
+                by_time.setdefault(t, []).append(depth)
+            for depths in by_time.values():
+                assert depths == sorted(depths)
+                assert len(set(depths)) == len(depths)
+
+
+class TestChaosKnobTransparency:
+    """The new config knobs, left at their defaults (or explicitly
+    disabled), must not perturb the paper schemes by one event."""
+
+    def _trace(self, make_rig, config=None):
+        rig = make_rig(config=config) if config is not None else make_rig()
+        with tracing() as tracer:
+            rig.client.create_file("input", 512 * MB)
+            rig.master.migrate(["input"], job_id="j1")
+            rig.sim.run(until=120)
+        return [(e.type, e.time, e.fields) for e in tracer.events]
+
+    def test_explicitly_disabled_knobs_match_defaults(self, make_rig):
+        default = self._trace(make_rig)
+        disabled = self._trace(
+            make_rig,
+            DyrsConfig(
+                reference_block_size=64 * MB,
+                rpc_timeout=None,
+                rpc_max_retries=0,
+                rpc_backoff_base=0.1,
+                rpc_backoff_factor=2.0,
+            ),
+        )
+        assert disabled == default
+
+    def test_generous_timeout_is_transparent_without_faults(self, make_rig):
+        """With no faults injected, a huge timeout budget never trips,
+        so the hardened path replays the unbounded path exactly."""
+        default = self._trace(make_rig)
+        hardened = self._trace(
+            make_rig,
+            DyrsConfig(
+                reference_block_size=64 * MB, rpc_timeout=60.0, rpc_max_retries=3
+            ),
+        )
+        assert hardened == default

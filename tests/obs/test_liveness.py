@@ -1,0 +1,169 @@
+"""Liveness + conservation invariants: the chaos-campaign checks."""
+
+import pytest
+
+from repro.obs import trace as T
+from repro.obs.invariants import InvariantViolation, TraceInvariants
+from repro.obs.trace import Tracer
+
+
+def _liveness(*specs, final_memory_bytes=None):
+    t = Tracer()
+    for etype, time, fields in specs:
+        t.emit(etype, time, **fields)
+    return TraceInvariants(t.events).liveness_violations(
+        final_memory_bytes=final_memory_bytes
+    )
+
+
+COMPLETED = (
+    (T.PENDING, 0.0, {"block": 1}),
+    (T.BIND, 1.0, {"block": 1, "node": 0}),
+    (T.MLOCK_START, 2.0, {"block": 1, "node": 0}),
+    (T.MLOCK_DONE, 5.0, {"block": 1, "node": 0, "nbytes": 64.0}),
+)
+
+
+class TestRecordTermination:
+    def test_completed_record_passes(self):
+        assert _liveness(*COMPLETED) == []
+
+    def test_dropped_record_passes(self):
+        assert (
+            _liveness(
+                (T.PENDING, 0.0, {"block": 1}),
+                (T.DROPPED, 1.0, {"block": 1, "status": "pending", "reason": "x"}),
+            )
+            == []
+        )
+
+    def test_open_record_flagged(self):
+        v = _liveness((T.PENDING, 0.0, {"block": 1}))
+        assert len(v) == 1
+        assert "never reached a terminal state" in v[0]
+
+    def test_stranded_bound_record_flagged(self):
+        # Bound but never dropped nor completed: the stranded-binding
+        # leak's exact trace signature.
+        v = _liveness(
+            (T.PENDING, 0.0, {"block": 1}),
+            (T.BIND, 1.0, {"block": 1, "node": 0}),
+        )
+        assert len(v) == 1
+
+    def test_drop_of_bound_record_closes_it(self):
+        assert (
+            _liveness(
+                (T.PENDING, 0.0, {"block": 1}),
+                (T.BIND, 1.0, {"block": 1, "node": 0}),
+                (T.DROPPED, 2.0, {"block": 1, "status": "bound", "reason": "x"}),
+            )
+            == []
+        )
+
+    def test_each_pending_needs_its_own_close(self):
+        # Two generations of records for one block; only one terminates.
+        v = _liveness(
+            (T.PENDING, 0.0, {"block": 1}),
+            (T.DROPPED, 1.0, {"block": 1, "status": "pending", "reason": "x"}),
+            (T.PENDING, 2.0, {"block": 1}),
+        )
+        assert len(v) == 1
+
+    def test_open_records_reset_per_segment(self):
+        assert (
+            _liveness(
+                (T.RUN_START, 0.0, {"scheme": "a"}),
+                *COMPLETED,
+                (T.RUN_START, 0.0, {"scheme": "b"}),
+                *COMPLETED,
+            )
+            == []
+        )
+
+    def test_open_record_in_earlier_segment_flagged(self):
+        v = _liveness(
+            (T.RUN_START, 0.0, {"scheme": "a"}),
+            (T.PENDING, 0.0, {"block": 1}),
+            (T.RUN_START, 0.0, {"scheme": "b"}),
+            *COMPLETED,
+        )
+        assert len(v) == 1
+        assert "segment 1" in v[0]
+
+
+class TestBytesConservation:
+    def test_matched_release_passes(self):
+        assert (
+            _liveness(
+                *COMPLETED,
+                (T.BUFFER_RELEASE, 6.0, {"block": 1, "node": 0, "tier": "memory",
+                                         "nbytes": 64.0}),
+                final_memory_bytes=0.0,
+            )
+            == []
+        )
+
+    def test_resident_bytes_must_match_actual(self):
+        assert _liveness(*COMPLETED, final_memory_bytes=64.0) == []
+        v = _liveness(*COMPLETED, final_memory_bytes=0.0)
+        assert len(v) == 1
+        assert "conservation" in v[0]
+
+    def test_mismatched_release_size_flagged(self):
+        v = _liveness(
+            *COMPLETED,
+            (T.BUFFER_RELEASE, 6.0, {"block": 1, "node": 0, "tier": "memory",
+                                     "nbytes": 32.0}),
+        )
+        assert len(v) == 1
+        assert "conservation" in v[0]
+
+    def test_preload_enters_the_ledger(self):
+        assert (
+            _liveness(
+                (T.PRELOAD, 0.0, {"block": 1, "node": 0, "nbytes": 10.0}),
+                final_memory_bytes=10.0,
+            )
+            == []
+        )
+
+    def test_ssd_release_does_not_touch_memory_ledger(self):
+        assert (
+            _liveness(
+                *COMPLETED,
+                (T.BUFFER_RELEASE, 6.0, {"block": 1, "node": 0, "tier": "ssd",
+                                         "nbytes": 999.0}),
+                final_memory_bytes=64.0,
+            )
+            == []
+        )
+
+    def test_ledger_resets_per_segment(self):
+        # Segment a's resident bytes must not count against segment b's
+        # final total.
+        assert (
+            _liveness(
+                (T.RUN_START, 0.0, {"scheme": "a"}),
+                *COMPLETED,
+                (T.RUN_START, 0.0, {"scheme": "b"}),
+                *COMPLETED,
+                final_memory_bytes=64.0,
+            )
+            == []
+        )
+
+
+class TestCheckLiveness:
+    def test_raises_on_violation(self):
+        t = Tracer()
+        t.emit(T.PENDING, 0.0, block=1)
+        with pytest.raises(InvariantViolation) as err:
+            TraceInvariants(t.events).check_liveness()
+        assert "liveness invariant violation" in str(err.value)
+
+    def test_quiet_on_clean_trace(self):
+        t = Tracer()
+        for etype, time, fields in COMPLETED:
+            t.emit(etype, time, **fields)
+        TraceInvariants(t.events).check_liveness(final_memory_bytes=64.0)
