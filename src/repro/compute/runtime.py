@@ -14,10 +14,9 @@ The runtime reproduces the paper's integration points:
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional
-
-import statistics
 
 from repro.compute.job import JobSpec, TaskSpec
 from repro.compute.metrics import JobMetrics, MetricsCollector, TaskMetrics

@@ -200,7 +200,7 @@ class MigrationMaster:
         if self.active_jobs_provider is None:
             return []
         swept = self.tracker.sweep_inactive(self.active_jobs_provider())
-        if swept:
+        if swept and obs.enabled():
             obs.emit(obs.GC_SWEEP, self.sim.now, jobs_swept=len(swept))
         return swept
 

@@ -137,13 +137,14 @@ class NaiveBalancerMaster(MigrationMaster):
             record.mark_bound(node_id, self.sim.now)
             del self._pending[record.block_id]
             granted.append(record)
-            obs.emit(
-                obs.BIND,
-                self.sim.now,
-                block=record.block_id,
-                node=node_id,
-                queue_depth=self.slaves[node_id].queued_blocks + len(granted),
-            )
+            if obs.enabled():
+                obs.emit(
+                    obs.BIND,
+                    self.sim.now,
+                    block=record.block_id,
+                    node=node_id,
+                    queue_depth=self.slaves[node_id].queued_blocks + len(granted),
+                )
         return granted
 
 

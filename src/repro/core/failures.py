@@ -352,6 +352,10 @@ class ChaosCampaign:
 
     def sample(self) -> list[ChaosFault]:
         """Draw the fault plan (idempotent: resampling replaces it)."""
+        # simlint: disable=SIM102 -- the campaign seed IS the identity of
+        # the fault plan: deriving it directly (not via a shared
+        # RngRegistry) keeps the schedule a pure function of the seed,
+        # untouched by whatever streams the system under test creates.
         rng = np.random.default_rng(self.seed)
         n_nodes = len(self.injector.cluster.nodes)
         # Fire inside the first 70% of the horizon so recoveries land

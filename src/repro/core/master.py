@@ -219,7 +219,8 @@ class DyrsMaster(MigrationMaster):
         jobs simply read from disk.  Slaves keep their buffers and the
         memory directory is rebuilt lazily as slaves report/evict.
         """
-        obs.emit(obs.MASTER_CRASH, self.sim.now, pending_lost=len(self._pending))
+        if obs.enabled():
+            obs.emit(obs.MASTER_CRASH, self.sim.now, pending_lost=len(self._pending))
         self.stop()
         self.alive = False
         # The records themselves must still reach a terminal state (the
@@ -249,11 +250,12 @@ class DyrsMaster(MigrationMaster):
             self._last_slave_report[slave.node_id] = self.sim.now
             for block_id in slave.datanode.memory_block_ids():
                 self.namenode.record_memory_replica(block_id, slave.node_id)
-        obs.emit(
-            obs.MASTER_RECOVER,
-            self.sim.now,
-            directory_size=len(self.namenode.memory_directory),
-        )
+        if obs.enabled():
+            obs.emit(
+                obs.MASTER_RECOVER,
+                self.sim.now,
+                directory_size=len(self.namenode.memory_directory),
+            )
         self.start()
 
     # -- pending management -------------------------------------------------------

@@ -1,0 +1,49 @@
+"""Structured lint findings.
+
+A :class:`Diagnostic` is one finding at one source location.  Rules
+yield them; the runner attaches suppression state; the CLI renders
+them as ``path:line:col: RULE message`` lines or as JSON objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``rule`` is the registry id (e.g. ``SIM101``); ``rule_name`` the
+    human slug (``wall-clock``).  ``hint`` says how to fix, not just
+    what is wrong -- every rule must ship one.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    rule_name: str
+    message: str
+    hint: str = ""
+    suppressed: bool = field(default=False, compare=False)
+
+    def render(self) -> str:
+        """Human one-liner: ``path:line:col: RULE(name) message``."""
+        where = f"{self.path}:{self.line}:{self.col}"
+        text = f"{where}: {self.rule}({self.rule_name}) {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (suppressed findings are never exported)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "rule_name": self.rule_name,
+            "message": self.message,
+            "hint": self.hint,
+        }

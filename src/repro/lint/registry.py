@@ -1,0 +1,99 @@
+"""Rule base class and the process-wide rule registry.
+
+A rule is a small object with an id, a slug, a fix hint, and one or
+both of two hooks:
+
+* :meth:`Rule.check_module` -- called once per parsed file whose path
+  matches the rule's ``scopes``; yields :class:`Diagnostic`s.
+* :meth:`Rule.check_project` -- called once per lint run with the full
+  file set, for cross-file rules (e.g. validating the extracted
+  state-machine table against the runtime checker).
+
+Adding a rule is: subclass :class:`Rule`, decorate with
+:func:`register`, import the module from :mod:`repro.lint.rules`.
+DESIGN §9 walks through an example.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.lint.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.runner import ModuleContext, Project
+
+__all__ = ["Rule", "all_rules", "get_rule", "register"]
+
+
+class Rule:
+    """Base class: one statically-checkable correctness property."""
+
+    #: Registry id, e.g. ``SIM101``.  Stable; used in suppressions.
+    id: str = ""
+    #: Human slug, e.g. ``wall-clock``.  Also valid in suppressions.
+    name: str = ""
+    #: One-line description of the property the rule protects.
+    description: str = ""
+    #: How to fix a finding (rendered with every diagnostic).
+    hint: str = ""
+    #: Directory components the rule applies to (``("sim", "core")``
+    #: matches any file with that component in its path); ``None``
+    #: applies everywhere.
+    scopes: tuple[str, ...] | None = None
+
+    def applies_to(self, parts: tuple[str, ...]) -> bool:
+        """Whether a file with path components ``parts`` is in scope."""
+        if self.scopes is None:
+            return True
+        return any(part in self.scopes for part in parts[:-1])
+
+    def check_module(self, ctx: "ModuleContext") -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Diagnostic]:
+        return ()
+
+    def diagnostic(
+        self, ctx_path: str, line: int, col: int, message: str
+    ) -> Diagnostic:
+        """Convenience constructor stamping the rule's identity."""
+        return Diagnostic(
+            path=ctx_path,
+            line=line,
+            col=col,
+            rule=self.id,
+            rule_name=self.name,
+            message=message,
+            hint=self.hint,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add to the registry."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} needs both an id and a name")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Iterator[Rule]:
+    """Registered rules in id order (stable output ordering)."""
+    yield from (_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(token: str) -> Rule | None:
+    """Look a rule up by id or slug; None if unknown."""
+    rule = _REGISTRY.get(token)
+    if rule is not None:
+        return rule
+    for candidate in _REGISTRY.values():
+        if candidate.name == token:
+            return candidate
+    return None

@@ -1,0 +1,22 @@
+"""The DYRS rule battery.
+
+Importing this package registers every built-in rule.  Rules are
+grouped by the guarantee they protect:
+
+* :mod:`~repro.lint.rules.determinism` -- bit-for-bit reproducibility
+  (SIM101 wall-clock, SIM102 unseeded-rng, SIM103
+  unordered-iteration);
+* :mod:`~repro.lint.rules.protocol` -- the §III migration-record
+  lattice (SM201 status-assignment, SM202 transition-table-drift);
+* :mod:`~repro.lint.rules.observability` -- paper schemes stay
+  byte-identical under instrumentation (OBS301 unguarded-trace);
+* :mod:`~repro.lint.rules.vtime` -- virtual-time hygiene (VT401
+  float-time-equality, VT402 heapq-outside-engine).
+"""
+
+from repro.lint.rules import (  # noqa: F401  (import registers the rules)
+    determinism,
+    observability,
+    protocol,
+    vtime,
+)

@@ -1,0 +1,138 @@
+"""Observability-transparency rule: instrumentation must be free when off.
+
+PR 3's contract is that paper-scheme runs are *byte-identical* with
+tracing and metrics off: the emit fast path is one global load plus
+one attribute check, allocates nothing, and computes nothing.  That
+contract dies quietly the first time someone writes::
+
+    obs.emit(obs.THING, now, depth=len(self.queue))   # len() always runs
+
+The argument expressions are evaluated *before* the no-op tracer gets
+a say, so any non-trivial argument turns the probe into unconditional
+work on the hot path.  The established idiom (``dfs/datanode.py``,
+``core/eviction.py``) is the enabled-guard::
+
+    if obs.enabled():
+        obs.emit(obs.THING, now, depth=len(self.queue))
+
+**OBS301 unguarded-trace** flags any tracer/metrics call whose
+arguments contain a call, comprehension, or f-string and that is not
+lexically inside an ``enabled()``/``collecting()`` guard.  Plain
+names, attribute chains, and constants stay legal unguarded -- that
+is exactly the cheap case the emit fast path was designed for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+from repro.lint.runner import ModuleContext
+
+_GUARD_CALLS = {"enabled", "collecting"}
+_EXPENSIVE = (
+    ast.Call,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.JoinedStr,
+)
+
+
+def _is_emit_call(node: ast.Call, ctx: ModuleContext) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in ctx.emit_names
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "emit"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ctx.trace_aliases
+    )
+
+
+def _has_expensive_argument(node: ast.Call) -> bool:
+    values = list(node.args) + [kw.value for kw in node.keywords]
+    return any(
+        isinstance(inner, _EXPENSIVE)
+        for value in values
+        for inner in ast.walk(value)
+    )
+
+
+def _test_has_guard(test: ast.expr) -> bool:
+    for inner in ast.walk(test):
+        if isinstance(inner, ast.Call):
+            func = inner.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if name in _GUARD_CALLS:
+                return True
+        elif isinstance(inner, ast.Attribute) and inner.attr == "enabled":
+            return True
+    return False
+
+
+def _is_guarded(node: ast.Call, ctx: ModuleContext) -> bool:
+    """Whether an ``enabled()``-style check dominates this call.
+
+    Only the *body* of a guarding ``if`` counts -- an emit in the
+    ``else`` branch runs exactly when observability is off.
+    """
+    child: ast.AST = node
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False  # left the enclosing function: no guard found
+        if (
+            isinstance(ancestor, ast.If)
+            and child in ancestor.body
+            and _test_has_guard(ancestor.test)
+        ):
+            return True
+        child = ancestor
+    return False
+
+
+@register
+class UnguardedTraceRule(Rule):
+    id = "OBS301"
+    name = "unguarded-trace"
+    description = "expensive trace/metrics arguments sit behind enabled()"
+    hint = (
+        "wrap the call in `if obs.enabled():` (or metrics "
+        "`collecting()`) so the argument work is skipped when "
+        "observability is off"
+    )
+    scopes = None  # everywhere instrumentation reaches
+
+    def applies_to(self, parts: tuple[str, ...]) -> bool:
+        # The obs package implements the machinery; the lint package
+        # analyzes it.  Neither emits on simulator hot paths.
+        pairs = zip(parts, parts[1:])
+        return not any(pair in (("repro", "obs"), ("repro", "lint")) for pair in pairs)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        if not ctx.trace_aliases and not ctx.emit_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_emit_call(node, ctx)
+                and _has_expensive_argument(node)
+                and not _is_guarded(node, ctx)
+            ):
+                yield self.diagnostic(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "trace emit computes its arguments unconditionally "
+                    "(runs even with tracing off)",
+                )

@@ -1,0 +1,220 @@
+"""Walk files, parse, run rules, apply suppressions.
+
+The runner owns everything rule authors should not re-implement:
+file discovery, AST parsing, parent links, import-alias resolution
+for the tracer/metrics/numpy modules, suppression handling, and
+stable ordering of the final report.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = ["LintReport", "ModuleContext", "Project", "lint_paths"]
+
+#: Module paths whose import aliases count as "the tracer".
+_TRACE_MODULES = {"repro.obs.trace", "repro.obs"}
+#: Module paths whose aliases count as "the metrics registry".
+_METRICS_MODULES = {"repro.obs.metrics"}
+
+
+@dataclass
+class ModuleContext:
+    """Everything a per-file rule needs about one parsed module."""
+
+    path: str
+    parts: tuple[str, ...]
+    tree: ast.Module
+    lines: list[str]
+    #: child node -> parent node, for guard-scope walks.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: local names bound to the trace module (``obs`` in
+    #: ``from repro.obs import trace as obs``).
+    trace_aliases: set[str] = field(default_factory=set)
+    #: local names bound to ``trace.emit`` itself.
+    emit_names: set[str] = field(default_factory=set)
+    #: local names bound to the metrics module.
+    metrics_aliases: set[str] = field(default_factory=set)
+    #: local names bound to the numpy package (``np``).
+    numpy_aliases: set[str] = field(default_factory=set)
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Parents of ``node`` from innermost outward."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+
+@dataclass
+class Project:
+    """The full file set of one lint run, for cross-file rules."""
+
+    modules: list[ModuleContext]
+
+    def find(self, *suffix: str) -> ModuleContext | None:
+        """The module whose path ends with the given components."""
+        for ctx in self.modules:
+            if ctx.parts[-len(suffix) :] == suffix:
+                return ctx
+        return None
+
+
+@dataclass
+class LintReport:
+    """Outcome of one run: visible findings plus suppression stats."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    suppressed: int
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics and not self.errors
+
+    def to_dict(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for diag in self.diagnostics:
+            by_rule[diag.rule] = by_rule.get(diag.rule, 0) + 1
+        return {
+            "version": 1,
+            "tool": "dyrs-lint",
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "errors": list(self.errors),
+            "summary": {"total": len(self.diagnostics), "by_rule": by_rule},
+            "diagnostics": [diag.to_dict() for diag in self.diagnostics],
+        }
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            files.append(path)
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _resolve_aliases(ctx: ModuleContext) -> None:
+    """Record what the tracer/metrics/numpy modules are called locally."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name in _TRACE_MODULES and alias.asname:
+                    ctx.trace_aliases.add(local)
+                elif alias.name in _METRICS_MODULES and alias.asname:
+                    ctx.metrics_aliases.add(local)
+                elif alias.name == "numpy" or alias.name.startswith("numpy."):
+                    ctx.numpy_aliases.add(local)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                dotted = f"{node.module}.{alias.name}"
+                if dotted in _TRACE_MODULES:
+                    ctx.trace_aliases.add(local)
+                elif dotted in _METRICS_MODULES:
+                    ctx.metrics_aliases.add(local)
+                elif node.module == "repro.obs.trace" and alias.name == "emit":
+                    ctx.emit_names.add(local)
+                elif node.module == "numpy" and alias.name == "random":
+                    ctx.numpy_aliases.add(f"{local}!random")
+
+
+def _build_context(path: Path) -> ModuleContext | str:
+    """Parse one file; returns an error string on syntax failure."""
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        return f"{path}: {exc}"
+    ctx = ModuleContext(
+        path=str(path),
+        parts=path.parts,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            ctx.parents[child] = parent
+    _resolve_aliases(ctx)
+    return ctx
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+) -> LintReport:
+    """Run the registered rules over ``paths``.
+
+    ``select`` restricts to the given rule ids/slugs (default: all).
+    Suppressed findings are dropped from the report but counted, so a
+    suppression sweep stays visible in the summary.
+    """
+    selected = set(select) if select is not None else None
+    rules = [
+        rule
+        for rule in all_rules()
+        if selected is None or {rule.id, rule.name} & selected
+    ]
+
+    modules: list[ModuleContext] = []
+    errors: list[str] = []
+    for path in _collect_files(paths):
+        built = _build_context(path)
+        if isinstance(built, str):
+            errors.append(built)
+        else:
+            modules.append(built)
+
+    raw: list[Diagnostic] = []
+    for ctx in modules:
+        for rule in rules:
+            if rule.applies_to(ctx.parts):
+                raw.extend(rule.check_module(ctx))
+    project = Project(modules=modules)
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+
+    indexes = {ctx.path: SuppressionIndex(ctx.lines) for ctx in modules}
+    visible: list[Diagnostic] = []
+    suppressed = 0
+    for diag in raw:
+        index = indexes.get(diag.path)
+        if index is not None and index.is_suppressed(
+            diag.line, diag.rule, diag.rule_name
+        ):
+            suppressed += 1
+        else:
+            visible.append(diag)
+    visible.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return LintReport(
+        diagnostics=visible,
+        files_checked=len(modules),
+        suppressed=suppressed,
+        errors=errors,
+    )

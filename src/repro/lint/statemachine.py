@@ -1,0 +1,190 @@
+"""Extract the §III migration-record lattice from ``core/records.py``.
+
+The record transition guards live in the ``mark_*`` methods of
+:class:`~repro.core.records.MigrationRecord`, each shaped as::
+
+    def mark_x(self, ...):
+        if self.status <guard>:
+            raise ...
+        self.status = MigrationStatus.X
+
+This module recovers the legal transition table *statically* from that
+AST -- without importing the module -- so the lint pass can compare it
+against :data:`repro.obs.invariants.LEGAL_TRANSITIONS`, the table the
+runtime trace checker enforces.  If an edit to ``records.py`` adds or
+removes a transition without reconciling the runtime checker (or vice
+versa), rule ``SM202`` fires and CI blocks the drift.
+
+Recognized guard shapes (anything else raises
+:class:`ExtractionError`, which SM202 reports as a finding -- an
+unextractable guard is itself drift):
+
+* ``if self.status is not MigrationStatus.X: raise``
+* ``if self.status not in (A, B): raise``
+* ``if self.status.is_terminal: raise`` (sources = every
+  non-terminal state, with terminality read off the
+  ``MigrationStatus.is_terminal`` property)
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+__all__ = [
+    "ExtractionError",
+    "extract_lattice",
+    "extract_lattice_from_source",
+]
+
+
+class ExtractionError(ValueError):
+    """The records module no longer matches the expected guard shapes."""
+
+
+def _status_member(node: ast.expr) -> str | None:
+    """``MigrationStatus.X`` -> ``"X"`` (None for anything else)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "MigrationStatus"
+    ):
+        return node.attr
+    return None
+
+
+def _enum_values(cls: ast.ClassDef) -> dict[str, str]:
+    """Member name -> value string for the ``MigrationStatus`` enum."""
+    values: dict[str, str] = {}
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            values[stmt.targets[0].id] = stmt.value.value
+    if not values:
+        raise ExtractionError("MigrationStatus has no string-valued members")
+    return values
+
+
+def _terminal_members(cls: ast.ClassDef) -> set[str]:
+    """Members returned by the ``is_terminal`` property's tuple."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "is_terminal":
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+                    members = {_status_member(elt) for elt in node.elts}
+                    if None not in members:
+                        return {m for m in members if m is not None}
+    raise ExtractionError("could not read MigrationStatus.is_terminal")
+
+
+def _is_self_status(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "status"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _guard_sources(
+    test: ast.expr, members: set[str], terminal: set[str]
+) -> set[str] | None:
+    """Legal source states implied by one ``if <test>: raise`` guard."""
+    # if self.status.is_terminal: raise  -> sources are the non-terminals
+    if (
+        isinstance(test, ast.Attribute)
+        and test.attr == "is_terminal"
+        and _is_self_status(test.value)
+    ):
+        return members - terminal
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and _is_self_status(test.left)
+    ):
+        return None
+    op, comparator = test.ops[0], test.comparators[0]
+    # if self.status is not MigrationStatus.X: raise  -> sources = {X}
+    if isinstance(op, ast.IsNot):
+        member = _status_member(comparator)
+        return None if member is None else {member}
+    # if self.status not in (A, B): raise  -> sources = {A, B}
+    if isinstance(op, ast.NotIn) and isinstance(comparator, (ast.Tuple, ast.List)):
+        sources = {_status_member(elt) for elt in comparator.elts}
+        return None if None in sources else {s for s in sources if s is not None}
+    return None
+
+
+def extract_lattice_from_source(source: str) -> frozenset[tuple[str, str]]:
+    """The legal ``(from_value, to_value)`` transition set in ``source``.
+
+    Values are the enum *value strings* (``"pending"``, ``"bound"`` ...)
+    -- the spelling trace events use -- so the result is directly
+    comparable to the runtime checker's table.
+    """
+    tree = ast.parse(source)
+    status_cls = record_cls = None
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            if node.name == "MigrationStatus":
+                status_cls = node
+            elif node.name == "MigrationRecord":
+                record_cls = node
+    if status_cls is None or record_cls is None:
+        raise ExtractionError("MigrationStatus/MigrationRecord class not found")
+
+    values = _enum_values(status_cls)
+    members = set(values)
+    terminal = _terminal_members(status_cls)
+    if unknown := terminal - members:
+        raise ExtractionError(f"is_terminal names unknown members {sorted(unknown)}")
+
+    transitions: set[tuple[str, str]] = set()
+    for method in record_cls.body:
+        if not isinstance(method, ast.FunctionDef):
+            continue
+        if method.name.startswith("__"):
+            continue  # __init__ etc. set the initial state, not a transition
+        targets = [
+            member
+            for stmt in ast.walk(method)
+            if isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and _is_self_status(stmt.targets[0])
+            and (member := _status_member(stmt.value)) is not None
+        ]
+        if not targets:
+            continue
+        if len(targets) > 1:
+            raise ExtractionError(f"{method.name} assigns self.status twice")
+        guards = [
+            stmt
+            for stmt in method.body
+            if isinstance(stmt, ast.If)
+            and any(isinstance(inner, ast.Raise) for inner in stmt.body)
+        ]
+        if len(guards) != 1:
+            raise ExtractionError(
+                f"{method.name} assigns self.status without a single "
+                "recognizable transition guard"
+            )
+        sources = _guard_sources(guards[0].test, members, terminal)
+        if sources is None:
+            raise ExtractionError(f"unrecognized guard shape in {method.name}")
+        target = targets[0]
+        if target not in members:
+            raise ExtractionError(f"{method.name} assigns unknown state {target}")
+        transitions |= {(values[src], values[target]) for src in sources}
+    if not transitions:
+        raise ExtractionError("no status transitions found in MigrationRecord")
+    return frozenset(transitions)
+
+
+def extract_lattice(path: str | Path) -> frozenset[tuple[str, str]]:
+    """Extract the transition table from a records module on disk."""
+    return extract_lattice_from_source(Path(path).read_text())

@@ -1,0 +1,77 @@
+"""``# simlint:`` suppression comments.
+
+Two forms, mirroring established linters:
+
+* line-scoped -- ``# simlint: disable=SIM101,VT402`` on the flagged
+  line (or alone on the line directly above it, for multi-line
+  statements and readability);
+* file-scoped -- ``# simlint: disable-file=VT402 -- justification``
+  anywhere in the file, for modules that are intentional exceptions
+  to a rule (e.g. the bandwidth kernel's internal heaps).
+
+Rules may be named by registry id (``SIM101``) or slug
+(``wall-clock``); ``all`` matches every rule.  Everything after
+``--`` is a justification and is ignored by the parser -- but write
+one: a suppression without a why is a review comment waiting to
+happen.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>disable|disable-file)\s*=\s*(?P<rules>[A-Za-z0-9_,\-\s]+)"
+)
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+def _parse_rules(raw: str) -> frozenset[str]:
+    # The rule list ends at a "--" justification separator if present.
+    raw = raw.split("--")[0]
+    return frozenset(token.strip() for token in raw.split(",") if token.strip())
+
+
+class SuppressionIndex:
+    """Per-file map of suppression directives, built once per module."""
+
+    def __init__(self, lines: list[str]) -> None:
+        self.file_rules: frozenset[str] = frozenset()
+        #: 1-based line -> rule tokens disabled on that line
+        self.line_rules: dict[int, frozenset[str]] = {}
+        file_rules: set[str] = set()
+        for lineno, line in enumerate(lines, start=1):
+            match = _DIRECTIVE.search(line)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("kind") == "disable-file":
+                file_rules |= rules
+            else:
+                existing = self.line_rules.get(lineno, frozenset())
+                self.line_rules[lineno] = existing | rules
+                # A comment-only directive also covers the statement
+                # below it: skip past the rest of the comment block so
+                # a multi-line justification still lands on the code.
+                if _COMMENT_ONLY.match(line):
+                    target = lineno + 1
+                    while target <= len(lines) and _COMMENT_ONLY.match(
+                        lines[target - 1]
+                    ):
+                        target += 1
+                    below = self.line_rules.get(target, frozenset())
+                    self.line_rules[target] = below | rules
+        self.file_rules = frozenset(file_rules)
+
+    @staticmethod
+    def _matches(tokens: frozenset[str], rule_id: str, rule_name: str) -> bool:
+        return bool(tokens & {"all", rule_id, rule_name})
+
+    def is_suppressed(self, line: int, rule_id: str, rule_name: str) -> bool:
+        """Whether a finding of ``rule_id`` at ``line`` is silenced."""
+        if self._matches(self.file_rules, rule_id, rule_name):
+            return True
+        tokens = self.line_rules.get(line)
+        return tokens is not None and self._matches(tokens, rule_id, rule_name)

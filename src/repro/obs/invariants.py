@@ -19,6 +19,11 @@ the trace convicts it even when unit tests pass.  Checked:
    ``evicted`` event appears, the block must no longer be
    memory-resident on that node (the eviction path unpins before it
    marks the record).
+7. **Drops leave a legal state (§III-A)** -- a ``dropped`` event's
+   ``status`` field (the record's state before the drop) must be a
+   legal source of a ``-> discarded`` edge in
+   :data:`LEGAL_TRANSITIONS`, the same lattice lint rule SM202
+   extracts statically from ``core/records.py``.
 
 :meth:`TraceInvariants.liveness_violations` adds the chaos-campaign
 *liveness* conditions -- the properties the stranded-binding fixes
@@ -51,7 +56,29 @@ from typing import Optional, Union
 from repro.obs import trace as T
 from repro.obs.trace import TraceEvent, load_jsonl
 
-__all__ = ["TraceInvariants", "InvariantViolation"]
+__all__ = ["TraceInvariants", "InvariantViolation", "LEGAL_TRANSITIONS"]
+
+#: The §III migration-record lattice, as ``(from, to)`` enum *value*
+#: strings -- the spelling trace events use in their ``status`` fields.
+#: This is the runtime checker's copy of the table whose authoritative
+#: guards live in the ``mark_*`` methods of ``core/records.py``; lint
+#: rule SM202 (``transition-table-drift``) statically extracts the
+#: lattice from those guards and fails CI if the two ever disagree,
+#: and :meth:`TraceInvariants.violations` checks every traced drop's
+#: prior status against it (check 7).
+LEGAL_TRANSITIONS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("pending", "bound"),
+        ("bound", "active"),
+        ("active", "done"),
+        ("done", "evicted"),
+        # DISCARDED is reachable from every non-terminal state
+        # (mark_discarded guards on ``status.is_terminal`` only).
+        ("pending", "discarded"),
+        ("bound", "discarded"),
+        ("active", "discarded"),
+    }
+)
 
 
 class InvariantViolation(AssertionError):
@@ -105,10 +132,16 @@ class TraceInvariants:
                     pending[block] -= 1
 
             elif etype == T.DROPPED:
-                if f.get("status") == "pending":
-                    block = f["block"]
-                    if pending[block] > 0:
-                        pending[block] -= 1
+                block = f["block"]
+                prior = f.get("status")
+                if prior is not None and (prior, "discarded") not in LEGAL_TRANSITIONS:
+                    found.append(
+                        f"{where}: drop of {block} from status "
+                        f"{prior!r} is not a legal transition "
+                        "(record lattice violated, §III-A)"
+                    )
+                if prior == "pending" and pending[block] > 0:
+                    pending[block] -= 1
 
             elif etype == T.MLOCK_START:
                 key = (f["node"], f.get("source", "disk"))

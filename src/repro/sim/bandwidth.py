@@ -58,6 +58,10 @@ regardless of how flows come and go.
 
 from __future__ import annotations
 
+# simlint: disable-file=VT402 -- the virtual-finish heap is internal to
+# the fair-share kernel (keyed by (vfinish, flow id), ties broken by
+# the flow's creation order), not the engine's event queue; wake-ups
+# still go through Simulator.call_at.
 import heapq
 import math
 from itertools import count

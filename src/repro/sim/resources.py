@@ -20,6 +20,9 @@ All waiting is expressed through events so processes simply
 
 from __future__ import annotations
 
+# simlint: disable-file=VT402 -- the FIFO/priority request queue is a
+# kernel-internal heap keyed by (priority, seq), not the event queue;
+# seq is a local monotonic counter, so pop order is already total.
 import heapq
 from itertools import count
 from typing import TYPE_CHECKING, Any

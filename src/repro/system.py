@@ -160,12 +160,13 @@ class System:
         if self._started:
             return self
         self._started = True
-        obs.emit(
-            obs.RUN_START,
-            self.sim.now,
-            scheme=self.config.scheme,
-            n_workers=len(self.cluster.nodes),
-        )
+        if obs.enabled():
+            obs.emit(
+                obs.RUN_START,
+                self.sim.now,
+                scheme=self.config.scheme,
+                n_workers=len(self.cluster.nodes),
+            )
         self.heartbeats.start()
         if isinstance(self.master, DyrsMaster):
             self.master.start()

@@ -24,9 +24,8 @@ from repro.cluster import (
     StoreFull,
 )
 from repro.sim import Simulator
-from repro.sim.bandwidth import BandwidthResource
+from repro.sim.bandwidth import BandwidthResource, use_kernel
 from repro.sim.legacy_bandwidth import LegacyBandwidthResource
-from repro.sim.bandwidth import use_kernel
 
 
 class TestByteStore:

@@ -1,0 +1,54 @@
+"""A drifted copy of the record lattice, for the SM202 fixture test.
+
+Two deliberate divergences from ``obs/invariants.py``'s
+``LEGAL_TRANSITIONS``:
+
+* ``mark_evicted`` also accepts ``ACTIVE`` (an ``active -> evicted``
+  edge the runtime checker does not know about);
+* there is no ``mark_active`` at all (the checker's
+  ``bound -> active`` edge has no guard here).
+"""
+
+import enum
+
+
+class MigrationStatus(enum.Enum):
+    PENDING = "pending"
+    BOUND = "bound"
+    ACTIVE = "active"
+    DONE = "done"
+    DISCARDED = "discarded"
+    EVICTED = "evicted"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (
+            MigrationStatus.DONE,
+            MigrationStatus.DISCARDED,
+            MigrationStatus.EVICTED,
+        )
+
+
+class MigrationRecord:
+    def __init__(self) -> None:
+        self.status = MigrationStatus.PENDING
+
+    def mark_bound(self) -> None:
+        if self.status is not MigrationStatus.PENDING:
+            raise RuntimeError("bad bind")
+        self.status = MigrationStatus.BOUND
+
+    def mark_done(self) -> None:
+        if self.status is not MigrationStatus.ACTIVE:
+            raise RuntimeError("bad done")
+        self.status = MigrationStatus.DONE
+
+    def mark_discarded(self) -> None:
+        if self.status.is_terminal:
+            raise RuntimeError("bad discard")
+        self.status = MigrationStatus.DISCARDED
+
+    def mark_evicted(self) -> None:
+        if self.status not in (MigrationStatus.DONE, MigrationStatus.ACTIVE):
+            raise RuntimeError("bad evict")
+        self.status = MigrationStatus.EVICTED

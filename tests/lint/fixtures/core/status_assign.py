@@ -1,0 +1,11 @@
+"""Deliberate SM201 violation: a status assignment bypassing mark_*."""
+
+from repro.core.records import MigrationStatus
+
+
+def force_done(record) -> None:
+    record.status = MigrationStatus.DONE
+
+
+def mark_is_fine(record, now: float) -> None:
+    record.mark_done(now)

@@ -1,0 +1,25 @@
+"""Deliberate OBS301 violations: emit arguments computed unconditionally."""
+
+from repro.obs import trace as obs
+
+
+class Probe:
+    def __init__(self, sim, queue) -> None:
+        self.sim = sim
+        self.queue = queue
+
+    def unguarded(self) -> None:
+        obs.emit(obs.PENDING, self.sim.now, depth=len(self.queue))
+
+    def guarded_is_fine(self) -> None:
+        if obs.enabled():
+            obs.emit(obs.PENDING, self.sim.now, depth=len(self.queue))
+
+    def cheap_args_are_fine(self) -> None:
+        obs.emit(obs.PENDING, self.sim.now, node=self.queue)
+
+    def else_branch_is_not_a_guard(self) -> None:
+        if obs.enabled():
+            pass
+        else:
+            obs.emit(obs.PENDING, self.sim.now, depth=len(self.queue))

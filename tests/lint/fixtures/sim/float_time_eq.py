@@ -1,0 +1,17 @@
+"""Deliberate VT401 violations: float equality on virtual-time values."""
+
+
+def same_instant(sim, deadline: float) -> bool:
+    return sim.now == deadline
+
+
+def distinct_finish(a, b) -> bool:
+    return a.finish_time != b.finish_time
+
+
+def ordering_is_fine(sim, deadline: float) -> bool:
+    return sim.now >= deadline
+
+
+def none_check_is_fine(record) -> bool:
+    return record.completed_at is None

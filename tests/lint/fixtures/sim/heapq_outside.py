@@ -1,0 +1,11 @@
+"""Deliberate VT402 violations: heapq mutation outside the engine."""
+
+import heapq
+
+
+def schedule(queue: list, when: float, event: object) -> None:
+    heapq.heappush(queue, (when, event))
+
+
+def pop(queue: list) -> object:
+    return heapq.heappop(queue)

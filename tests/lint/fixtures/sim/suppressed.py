@@ -1,0 +1,23 @@
+"""Every violation here carries a suppression -- the lint run is clean.
+
+Exercises all three directive placements: same-line, comment-line
+above a statement (with a multi-line justification), and file-level,
+plus addressing a rule by slug instead of id.
+"""
+
+# simlint: disable-file=VT402 -- fixture: file-level directive form.
+
+import heapq
+
+# simlint: disable=SIM101 -- fixture: comment-above form, with a
+# justification spilling onto a second comment line before the code.
+import time
+from datetime import datetime  # simlint: disable=wall-clock -- by slug.
+
+
+def stamp() -> float:
+    return time.time() + datetime.now().timestamp()
+
+
+def schedule(queue: list, when: float, event: object) -> None:
+    heapq.heappush(queue, (when, event))

@@ -1,0 +1,23 @@
+"""Deliberate SIM103 violations: hash-ordered set iteration."""
+
+
+def over_literal() -> list[str]:
+    out = []
+    for name in {"w1", "w2", "w3"}:
+        out.append(name)
+    return out
+
+
+def over_constructor(items: list[str]) -> list[str]:
+    return [item for item in set(items)]
+
+
+def over_algebra(a: set[str], b: list[str]) -> list[str]:
+    out = []
+    for item in a | set(b):
+        out.append(item)
+    return out
+
+
+def sorted_is_fine(items: list[str]) -> list[str]:
+    return [item for item in sorted(set(items))]

@@ -1,0 +1,25 @@
+"""Deliberate SIM102 violations: randomness outside the stream registry."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw() -> float:
+    return random.random()
+
+
+def draw_np() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def draw_imported() -> float:
+    return float(default_rng().random())
+
+
+def annotation_is_fine(rng: np.random.Generator) -> float:
+    # Typing against the Generator ABC is legal; only draw sources and
+    # constructors are banned outside sim/rng.py.
+    return float(rng.random())

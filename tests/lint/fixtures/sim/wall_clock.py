@@ -1,0 +1,12 @@
+"""Deliberate SIM101 violations: host-clock reads in a simulated component."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def today() -> object:
+    return datetime.now()

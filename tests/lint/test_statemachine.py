@@ -1,0 +1,75 @@
+"""Lattice extraction and the static/runtime cross-validation.
+
+The regression here is the satellite-task guarantee: the table the
+runtime trace checker enforces (``obs/invariants.py``) and the table
+the ``mark_*`` guards implement (``core/records.py``) are the same
+§III lattice, and a traced drop from an illegal state convicts at
+runtime just as SM202 convicts statically.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.statemachine import (
+    ExtractionError,
+    extract_lattice,
+    extract_lattice_from_source,
+)
+from repro.obs import trace as T
+from repro.obs.invariants import LEGAL_TRANSITIONS, TraceInvariants
+from repro.obs.trace import TraceEvent
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def test_extracted_lattice_matches_runtime_checker_table():
+    # The cross-validation itself: if a mark_* guard changes without
+    # reconciling LEGAL_TRANSITIONS (or vice versa), this fails --
+    # the same drift SM202 reports in the lint run.
+    extracted = extract_lattice(REPO / "src" / "repro" / "core" / "records.py")
+    assert extracted == LEGAL_TRANSITIONS
+
+
+def test_drifted_fixture_extracts_the_drift():
+    table = extract_lattice(FIXTURES / "core" / "records.py")
+    assert ("active", "evicted") in table
+    assert ("bound", "active") not in table
+
+
+def test_extraction_rejects_unrecognizable_guards():
+    source = (
+        "class MigrationStatus:\n"
+        "    PENDING = 'pending'\n"
+        "class MigrationRecord:\n"
+        "    def mark(self):\n"
+        "        self.status = MigrationStatus.PENDING\n"
+    )
+    with pytest.raises(ExtractionError):
+        extract_lattice_from_source(source)
+
+
+def drop_event(status: str) -> TraceEvent:
+    return TraceEvent(
+        T.DROPPED, 1.0, {"block": "b1", "reason": "test", "status": status}
+    )
+
+
+def test_runtime_checker_convicts_a_drop_from_a_terminal_state():
+    pending = TraceEvent(T.PENDING, 0.0, {"block": "b1"})
+    violations = TraceInvariants([pending, drop_event("done")]).violations()
+    assert len(violations) == 1
+    assert "not a legal transition" in violations[0]
+
+
+def test_runtime_checker_accepts_drops_from_every_nonterminal_state():
+    for status in ("pending", "bound", "active"):
+        pending = TraceEvent(T.PENDING, 0.0, {"block": "b1"})
+        violations = TraceInvariants([pending, drop_event(status)]).violations()
+        assert violations == []
+
+
+def test_runtime_checker_tolerates_legacy_drops_without_status():
+    event = TraceEvent(T.DROPPED, 1.0, {"block": "b1", "reason": "test"})
+    assert TraceInvariants([event]).violations() == []

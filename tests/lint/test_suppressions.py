@@ -1,0 +1,65 @@
+"""Suppression-comment semantics: placements, slugs, wildcards."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.suppressions import SuppressionIndex
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def index_of(source: str) -> SuppressionIndex:
+    return SuppressionIndex(source.splitlines())
+
+
+def test_suppressed_fixture_is_clean_but_counted():
+    report = lint_paths([FIXTURES / "sim" / "suppressed.py"])
+    assert report.diagnostics == []
+    assert report.suppressed == 3
+    assert report.ok
+
+
+def test_same_line_directive_covers_only_its_line():
+    idx = index_of("import time  # simlint: disable=SIM101\nimport time\n")
+    assert idx.is_suppressed(1, "SIM101", "wall-clock")
+    assert not idx.is_suppressed(2, "SIM101", "wall-clock")
+
+
+def test_comment_above_covers_the_next_statement_through_a_block():
+    idx = index_of(
+        "# simlint: disable=SIM101 -- why this is fine,\n"
+        "# across two comment lines.\n"
+        "import time\n"
+    )
+    assert idx.is_suppressed(3, "SIM101", "wall-clock")
+
+
+def test_file_level_directive_covers_every_line():
+    idx = index_of("x = 1\n# simlint: disable-file=VT402 -- kernel heap\ny = 2\n")
+    assert idx.is_suppressed(1, "VT402", "heapq-outside-engine")
+    assert idx.is_suppressed(3, "VT402", "heapq-outside-engine")
+    assert not idx.is_suppressed(1, "SIM101", "wall-clock")
+
+
+def test_slug_and_id_both_match():
+    idx = index_of("import time  # simlint: disable=wall-clock\n")
+    assert idx.is_suppressed(1, "SIM101", "wall-clock")
+
+
+def test_all_wildcard_matches_every_rule():
+    idx = index_of("import time  # simlint: disable=all\n")
+    assert idx.is_suppressed(1, "SIM101", "wall-clock")
+    assert idx.is_suppressed(1, "VT402", "heapq-outside-engine")
+
+
+def test_multiple_rules_in_one_directive():
+    idx = index_of("x  # simlint: disable=SIM101, VT402\n")
+    assert idx.is_suppressed(1, "SIM101", "wall-clock")
+    assert idx.is_suppressed(1, "VT402", "heapq-outside-engine")
+    assert not idx.is_suppressed(1, "SIM102", "unseeded-rng")
+
+
+def test_justification_text_is_not_parsed_as_rules():
+    idx = index_of("x  # simlint: disable=SIM101 -- VT402 is mentioned here\n")
+    assert idx.is_suppressed(1, "SIM101", "wall-clock")
+    assert not idx.is_suppressed(1, "VT402", "heapq-outside-engine")
