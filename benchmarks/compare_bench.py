@@ -1,4 +1,4 @@
-"""Compare a kernel-benchmark run against the committed baseline.
+"""Compare a benchmark run against its committed baseline.
 
 Usage::
 
@@ -6,15 +6,19 @@ Usage::
         benchmarks/baselines/BENCH_kernel.json [--threshold 0.30]
 
 Both files are pytest-benchmark JSON exports holding the
-machine-independent speedup ratios in ``benchmarks[].extra_info``
+machine-independent headline numbers in ``benchmarks[].extra_info``.
+For the kernel benchmark those are speedup *ratios*
 (``churn_speedup``, ``swim_speedup``: virtual-time kernel events/sec
 over the legacy kernel's, measured on the same machine in the same
-process, so runner speed cancels out).  Absolute numbers like
-``churn_events_per_sec`` vary with the runner and are reported but
-never gated.
+process, so runner speed cancels out).  For the lifecycle benchmark
+they are simulated quantities (``archive_hit_ratio``,
+``reheat_latency_s``), deterministic per seed.  Absolute wall-clock
+numbers like ``churn_events_per_sec`` vary with the runner and are
+reported but never gated.
 
-Exits non-zero when any gated ratio regressed by more than
-``--threshold`` (default 30%) relative to the baseline.
+Exits non-zero when any gated number regressed by more than
+``--threshold`` (default 30%) relative to the baseline -- a *drop* for
+higher-is-better keys, a *rise* for lower-is-better ones.
 """
 
 from __future__ import annotations
@@ -24,10 +28,12 @@ import json
 import sys
 from pathlib import Path
 
-#: extra_info keys that gate (relative ratios; runner-independent).
-GATED = ("churn_speedup", "swim_speedup")
+#: extra_info keys that gate, higher is better (runner-independent).
+GATED = ("churn_speedup", "swim_speedup", "archive_hit_ratio")
+#: extra_info keys that gate, lower is better (latencies, overheads).
+GATED_LOWER = ("reheat_latency_s", "makespan_overhead_ratio")
 #: extra_info keys shown for context only (absolute; runner-dependent).
-INFORMATIONAL = ("churn_events_per_sec",)
+INFORMATIONAL = ("churn_events_per_sec", "archived_blocks", "restored_blocks")
 
 
 def load_extra_info(path: Path) -> dict[str, dict[str, float]]:
@@ -52,26 +58,31 @@ def compare(
         if cur_info is None:
             failures.append(f"{name}: present in baseline but not in this run")
             continue
-        for key in GATED:
-            if key not in base_info:
-                continue
-            base = base_info[key]
-            cur = cur_info.get(key)
-            if cur is None:
-                failures.append(f"{name}.{key}: missing from this run")
-                continue
-            change = (cur - base) / base
-            status = "REGRESSED" if change < -threshold else "ok"
-            print(
-                f"{name}.{key}: {cur:.3f} vs baseline {base:.3f} "
-                f"({change:+.1%}) [{status}]"
-            )
-            if change < -threshold:
-                failures.append(
-                    f"{name}.{key} regressed {-change:.1%} "
-                    f"(> {threshold:.0%} allowed): "
-                    f"{cur:.3f} vs baseline {base:.3f}"
+        for keys, lower_is_better in ((GATED, False), (GATED_LOWER, True)):
+            for key in keys:
+                if key not in base_info:
+                    continue
+                base = base_info[key]
+                cur = cur_info.get(key)
+                if cur is None:
+                    failures.append(f"{name}.{key}: missing from this run")
+                    continue
+                change = (cur - base) / base
+                regressed = change > threshold if lower_is_better else (
+                    change < -threshold
                 )
+                status = "REGRESSED" if regressed else "ok"
+                arrow = "lower=better" if lower_is_better else "higher=better"
+                print(
+                    f"{name}.{key}: {cur:.3f} vs baseline {base:.3f} "
+                    f"({change:+.1%}, {arrow}) [{status}]"
+                )
+                if regressed:
+                    failures.append(
+                        f"{name}.{key} regressed {abs(change):.1%} "
+                        f"(> {threshold:.0%} allowed): "
+                        f"{cur:.3f} vs baseline {base:.3f}"
+                    )
         for key in INFORMATIONAL:
             if key in base_info and key in cur_info:
                 print(

@@ -1,0 +1,39 @@
+"""Archive-tier lifecycle benchmark (DESIGN.md §10, not a paper figure).
+
+Runs the aging workload under dyrs / dyrs-tiered / dyrs-lifecycle and
+records the lifecycle ledger: archive hit ratio, re-heat promotion
+latency, and bytes moved/resident per tier.  All headline numbers are
+simulated quantities, so they are deterministic per seed and safe to
+gate against ``benchmarks/baselines/BENCH_lifecycle.json``.
+"""
+
+from repro.experiments import lifecycle
+from repro.units import GB, MB
+
+
+def test_lifecycle_aging(run_experiment, benchmark):
+    result = run_experiment(
+        lambda: lifecycle.run(seed=0), report_fn=lifecycle.report
+    )
+
+    # Sanity: the run must actually exercise the full ladder, or the
+    # ledger numbers gate nothing.
+    assert result.archived_blocks > 0
+    assert result.restored_blocks > 0
+    assert result.corrupt_moves == 0
+
+    benchmark.extra_info["archive_hit_ratio"] = result.archive_hit_ratio
+    benchmark.extra_info["reheat_latency_s"] = result.mean_reheat_latency
+    benchmark.extra_info["archived_blocks"] = result.archived_blocks
+    benchmark.extra_info["restored_blocks"] = result.restored_blocks
+    for (source, dest), nbytes in sorted(result.tier_bytes.items()):
+        benchmark.extra_info[f"moved_{source}_to_{dest}_gb"] = nbytes / GB
+    for tier, nbytes in result.resident_bytes.items():
+        benchmark.extra_info[f"resident_{tier}_mb"] = nbytes / MB
+    # The archive must not slow the aging workload itself down by more
+    # than the re-heat penalty the report shows; makespans stay in the
+    # same ballpark across the three schemes.
+    base = result.outcomes["dyrs"].makespan
+    lifecycle_makespan = result.outcomes["dyrs-lifecycle"].makespan
+    assert lifecycle_makespan < 1.5 * base
+    benchmark.extra_info["makespan_overhead_ratio"] = lifecycle_makespan / base

@@ -7,6 +7,7 @@ background reader streams stealing disk bandwidth, either persistently
 or in alternating on/off patterns.
 """
 
+from repro.cluster.archive import Archive, ArchiveFull, ArchiveSpec
 from repro.cluster.device import ByteStore, Channel, StoreFull
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.memory import MemoryStore, MemorySpec, OutOfMemory
@@ -23,6 +24,9 @@ from repro.cluster.interference import (
 
 __all__ = [
     "AlternatingInterference",
+    "Archive",
+    "ArchiveFull",
+    "ArchiveSpec",
     "ByteStore",
     "Channel",
     "Cluster",

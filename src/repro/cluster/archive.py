@@ -1,0 +1,234 @@
+"""Archive tier device: cheap, slow, fabric-attached cold storage.
+
+The paper's ladder only goes *up* -- disk to memory (and, in the
+tiered extension, disk to SSD to memory).  The lifecycle subsystem
+(:mod:`repro.lifecycle`) adds the cold end: an ARCHIVE storage type in
+the HDFS sense -- high-density, high-latency volumes meant for data
+that has cooled past any working set, as in DLM-style storage-type
+policies and OctopusFS-style multi-tier management.
+
+In the unified device vocabulary (:mod:`repro.cluster.device`) an
+:class:`Archive` is, like :class:`~repro.cluster.ssd.Ssd`, both
+primitives at once:
+
+* a :class:`~repro.cluster.device.ByteStore` accounting the node's
+  slice of the archive namespace (capacity is cheap: the default
+  budget is an order of magnitude above the disk tier);
+* a :class:`~repro.cluster.device.Channel` charging every transfer.
+
+Unlike the SSD, the channel is normally **shared cluster-wide**: the
+archive is fabric-attached (an object store or tape head behind the
+core switch), so every node's archive traffic contends on one link
+owned by the :class:`~repro.cluster.network.Fabric`.  Construction
+therefore accepts an external channel; a private one is built only for
+free-standing single-device use (unit tests).
+
+Two consequences of "fabric-attached" that callers rely on:
+
+* archive contents survive node failure -- the owning node is a
+  bookkeeping partition, not the physical host, so ``Node.fail`` must
+  *not* release archive pins the way it releases memory/SSD state;
+* serving an archive read does not require the owning node to be
+  alive, only the fabric path.
+
+Latency is a first-class spec field: archival media pay a fixed
+per-operation setup cost (mount/seek/object-store round trip) that
+dwarfs a disk seek.  The channel itself stays a pure bandwidth model;
+the latency is charged explicitly by whoever drives the operation (the
+lifecycle master's tier moves) and is folded into
+:meth:`Archive.read_seconds` for policy cost estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Optional
+
+from repro.cluster.device import ByteStore, Channel, StoreFull
+from repro.sim.bandwidth import Flow
+from repro.sim.events import Event
+from repro.units import MB, TB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Archive", "ArchiveSpec", "ArchiveFull"]
+
+
+class ArchiveFull(StoreFull):
+    """Raised when a ``pin`` would exceed the archive capacity budget."""
+
+
+@dataclass(frozen=True)
+class ArchiveSpec:
+    """Static description of a node's archive partition.
+
+    Attributes
+    ----------
+    capacity:
+        Bytes of archive namespace chargeable to this node.  Archival
+        capacity is the cheap resource, so the default dwarfs the
+        working tiers.
+    bandwidth:
+        Throughput of the *shared* archive link, bytes/second.  When a
+        cluster builds its fabric archive link it uses this value; a
+        free-standing device uses it for its private channel.  The
+        default models a modest object-store/tape head well below the
+        disk tier.
+    latency:
+        Fixed per-operation setup cost in seconds (media mount, HTTP
+        round trip).  Charged once per tier move / read, not per byte.
+    seek_penalty:
+        Aggregate-efficiency loss per extra concurrent stream on the
+        link.  Object-store links share cleanly; default 0.
+    min_efficiency:
+        Floor on aggregate throughput as a fraction of ``bandwidth``.
+    """
+
+    capacity: float = 4 * TB
+    bandwidth: float = 120 * MB
+    latency: float = 0.5
+    seek_penalty: float = 0.0
+    min_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.seek_penalty < 0:
+            raise ValueError(f"seek_penalty must be >= 0, got {self.seek_penalty}")
+        if not 0 <= self.min_efficiency <= 1:
+            raise ValueError(
+                f"min_efficiency must be in [0, 1], got {self.min_efficiency}"
+            )
+
+
+class Archive:
+    """One node's archive partition: a budget plus the (shared) link."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        spec: ArchiveSpec,
+        name: str = "archive",
+        channel: Optional[Channel] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.store = ByteStore(
+            sim, capacity=spec.capacity, name=name, full_error=ArchiveFull
+        )
+        #: Whether the transfer channel is a fabric-owned shared link
+        #: (cluster construction) or a private one (free-standing use).
+        self.shared_channel = channel is not None
+        self.channel = channel if channel is not None else Channel(
+            sim,
+            capacity=spec.bandwidth,
+            seek_penalty=spec.seek_penalty,
+            min_efficiency=spec.min_efficiency,
+            name=name,
+        )
+
+    # -- budget ------------------------------------------------------------
+
+    @property
+    def used(self) -> float:
+        """Bytes currently pinned."""
+        return self.store.used
+
+    @property
+    def free(self) -> float:
+        """Bytes available before hitting the budget."""
+        return self.store.free
+
+    @property
+    def peak(self) -> float:
+        """High-water mark of :attr:`used`."""
+        return self.store.peak
+
+    @property
+    def usage_samples(self) -> list[tuple[float, float]]:
+        """(time, used_bytes) samples, recorded on every change."""
+        return self.store.usage_samples
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether ``nbytes`` can currently be pinned."""
+        return self.store.fits(nbytes)
+
+    # -- residency ---------------------------------------------------------
+
+    def pin(self, key: Hashable, nbytes: float) -> None:
+        """Account ``nbytes`` of archived data under ``key``.
+
+        Raises :class:`ArchiveFull` when the budget would be exceeded
+        and ``KeyError`` on double pins, mirroring the other stores.
+        """
+        self.store.pin(key, nbytes)
+
+    def unpin(self, key: Hashable) -> float:
+        """Release the bytes pinned under ``key``; returns the size.
+
+        Idempotent: restore completion and explicit drops can race.
+        """
+        return self.store.unpin(key)
+
+    def is_pinned(self, key: Hashable) -> bool:
+        """Whether ``key`` currently resides in this partition."""
+        return self.store.is_pinned(key)
+
+    def pinned_keys(self) -> tuple[Hashable, ...]:
+        """Keys currently pinned (insertion order)."""
+        return self.store.pinned_keys()
+
+    # -- transfers ---------------------------------------------------------
+
+    def read(self, nbytes: float, tag: str = "archive-read") -> Event:
+        """Start reading ``nbytes``; returns the completion event.
+
+        Pure bandwidth charge -- callers modelling a full archival
+        operation must additionally wait :attr:`ArchiveSpec.latency`.
+        """
+        return self.channel.transfer(nbytes, tag=tag)
+
+    def write(self, nbytes: float, tag: str = "archive-write") -> Event:
+        """Start writing ``nbytes``; returns the completion event."""
+        return self.channel.transfer(nbytes, tag=tag)
+
+    def start_read(self, nbytes: float, tag: str = "archive-read") -> Flow:
+        """Flow-returning variant of :meth:`read` (cancellable)."""
+        return self.channel.start_flow(nbytes, tag=tag)
+
+    def cancel_read(self, flow: Flow) -> None:
+        """Abort a flow started with :meth:`start_read`."""
+        self.channel.cancel(flow)
+
+    def read_seconds(self, nbytes: float) -> float:
+        """Nominal uncontended seconds to fetch ``nbytes`` (latency
+        plus line-rate transfer) -- the policy-layer cost estimate."""
+        return self.spec.latency + nbytes / self.channel.capacity
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently sharing the link."""
+        return self.channel.active_flows
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes transferred over the link (reads + writes).
+
+        With a shared link this counts *all* nodes' archive traffic.
+        """
+        return self.channel.bytes_moved
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shared = "shared" if self.shared_channel else "private"
+        return (
+            f"<Archive {self.name!r} used={self.used:.3g}/"
+            f"{self.spec.capacity:.3g}B link={shared}>"
+        )

@@ -102,6 +102,7 @@ class Fabric:
         sim: "Simulator",
         n_racks: int = 1,
         rack_uplink_bandwidth: float = 5e9,
+        archive_spec=None,
     ) -> None:
         if n_racks < 1:
             raise ValueError(f"n_racks must be >= 1, got {n_racks}")
@@ -117,6 +118,20 @@ class Fabric:
                 self.downlinks[rack] = Channel(
                     sim, capacity=rack_uplink_bandwidth, name=f"rack{rack}.down"
                 )
+        #: The shared archive link (lifecycle extension): one channel
+        #: behind the core switch that every node's archive partition
+        #: charges, built only when the cluster has an archive tier.
+        #: ``archive_spec`` is an :class:`~repro.cluster.archive.
+        #: ArchiveSpec` (duck-typed to avoid an import cycle).
+        self.archive_link: "Channel | None" = None
+        if archive_spec is not None:
+            self.archive_link = Channel(
+                sim,
+                capacity=archive_spec.bandwidth,
+                seek_penalty=archive_spec.seek_penalty,
+                min_efficiency=archive_spec.min_efficiency,
+                name="fabric.archive",
+            )
 
     @property
     def rack_aware(self) -> bool:

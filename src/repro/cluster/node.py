@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
+from repro.cluster.archive import Archive, ArchiveSpec
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.memory import MemorySpec, MemoryStore
 from repro.cluster.network import Nic, NicSpec
@@ -37,6 +38,9 @@ class NodeSpec:
     #: Optional SSD cache partition (the tiered-storage extension);
     #: ``None`` reproduces the paper's two-level disk/RAM servers.
     ssd: Optional[SsdSpec] = None
+    #: Optional archive partition (the lifecycle extension); ``None``
+    #: means this node owns no slice of the cold-storage namespace.
+    archive: Optional[ArchiveSpec] = None
 
     def __post_init__(self) -> None:
         if self.task_slots < 1:
@@ -54,12 +58,21 @@ class NodeSpec:
         """A copy of this spec with an SSD cache attached."""
         return replace(self, ssd=ssd or SsdSpec())
 
+    def with_archive(self, archive: Optional[ArchiveSpec] = None) -> "NodeSpec":
+        """A copy of this spec with an archive partition attached."""
+        return replace(self, archive=archive or ArchiveSpec())
+
 
 class Node:
     """One worker node instance in a running simulation."""
 
     def __init__(
-        self, sim: "Simulator", node_id: int, spec: NodeSpec, rack_id: int = 0
+        self,
+        sim: "Simulator",
+        node_id: int,
+        spec: NodeSpec,
+        rack_id: int = 0,
+        archive_channel=None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -73,6 +86,16 @@ class Node:
         self.memory = MemoryStore(sim, spec.memory, name=f"{self.name}.mem")
         self.ssd: Optional[Ssd] = (
             Ssd(sim, spec.ssd, name=f"{self.name}.ssd") if spec.ssd is not None else None
+        )
+        #: Archive partition.  Clusters pass the fabric's shared archive
+        #: link as ``archive_channel``; free-standing nodes get a
+        #: private channel from the spec.
+        self.archive: Optional[Archive] = (
+            Archive(
+                sim, spec.archive, name=f"{self.name}.archive", channel=archive_channel
+            )
+            if spec.archive is not None
+            else None
         )
         self.nic = Nic(sim, spec.nic, name=f"{self.name}.nic")
         self.slots = Resource(sim, capacity=spec.task_slots, name=f"{self.name}.slots")
@@ -88,6 +111,11 @@ class Node:
         The SSD cache partition is cleared too -- the data physically
         survives a power cycle, but its contents are soft state managed
         by the (dead) slave process, so a replacement starts cold.
+
+        The archive partition is deliberately *not* touched: it models
+        fabric-attached cold storage for which this node is only the
+        accounting owner, so archived data survives the crash (see
+        :mod:`repro.cluster.archive`).
         """
         self.alive = False
         # Route through the DataNode when attached so the buffer loss

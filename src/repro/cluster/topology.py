@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.cluster.archive import ArchiveSpec
 from repro.cluster.network import Fabric
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.ssd import SsdSpec
@@ -50,6 +51,12 @@ class ClusterSpec:
         spec does not already carry one (the tiered-storage extension).
         ``None`` -- the default -- reproduces the paper's two-level
         disk/RAM servers exactly.
+    archive:
+        Cluster-wide archive partition spec, applied the same way (the
+        lifecycle extension).  When any worker ends up with an archive
+        partition the fabric builds one shared archive link sized from
+        the first such spec, and every partition's transfers contend on
+        it.  ``None`` -- the default -- means no cold tier.
     """
 
     n_workers: int = 7
@@ -59,6 +66,7 @@ class ClusterSpec:
     n_racks: int = 1
     rack_uplink_bandwidth: float = 5e9  # 40 Gbps
     ssd: Optional[SsdSpec] = None
+    archive: Optional[ArchiveSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -78,6 +86,8 @@ class ClusterSpec:
         spec = self.overrides.get(index, self.node)
         if self.ssd is not None and spec.ssd is None:
             spec = replace(spec, ssd=self.ssd)
+        if self.archive is not None and spec.archive is None:
+            spec = replace(spec, archive=self.archive)
         return spec
 
     def rack_of(self, index: int) -> int:
@@ -92,17 +102,21 @@ class Cluster:
         self.spec = spec or ClusterSpec()
         self.sim = Simulator()
         self.rngs = RngRegistry(self.spec.seed)
+        specs = [self.spec.spec_for(i) for i in range(self.spec.n_workers)]
+        archive_specs = [s.archive for s in specs if s.archive is not None]
         self.fabric = Fabric(
             self.sim,
             n_racks=self.spec.n_racks,
             rack_uplink_bandwidth=self.spec.rack_uplink_bandwidth,
+            archive_spec=archive_specs[0] if archive_specs else None,
         )
         self.nodes: list[Node] = [
             Node(
                 self.sim,
                 node_id=i,
-                spec=self.spec.spec_for(i),
+                spec=specs[i],
                 rack_id=self.spec.rack_of(i),
+                archive_channel=self.fabric.archive_link,
             )
             for i in range(self.spec.n_workers)
         ]

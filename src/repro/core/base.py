@@ -95,6 +95,19 @@ class MigrationMaster:
             existing = self._records.get(block.block_id)
             if existing is not None and not existing.status.is_terminal:
                 continue
+            resident = self.namenode.memory_directory.get(block.block_id)
+            if (
+                resident is not None
+                and self.namenode.cluster.node(resident).alive
+                and self.namenode.datanodes[resident].has_memory_replica(
+                    block.block_id
+                )
+            ):
+                # Already served from memory: a second migration would
+                # double-pin the buffer (or, landing elsewhere, strand
+                # the first copy); the reference added above is all the
+                # request needs.
+                continue
             record = self._new_record(block)
             self._records[block.block_id] = record
             self.record_log.append(record)

@@ -209,6 +209,108 @@ class FailureInjector:
         self.sim.call_at(when, _degrade)
         self.sim.call_at(when + restore_after, _restore)
 
+    def degrade_fabric_at(
+        self, when: float, factor: float, restore_after: float
+    ) -> None:
+        """Drop the shared archive fabric link to ``factor`` of nominal
+        for ``restore_after`` seconds (a congested object store / busy
+        tape library).  Cluster-wide: every node's archive traffic
+        shares the one link."""
+        if not 0 < factor < 1:
+            raise ValueError(f"degrade factor must be in (0, 1), got {factor}")
+        if restore_after <= 0:
+            raise ValueError(f"restore_after must be positive, got {restore_after}")
+        link = getattr(self.cluster.fabric, "archive_link", None)
+        if link is None:
+            raise RuntimeError("cluster has no archive fabric link")
+        nominal: list[float] = []
+
+        def _degrade() -> None:
+            nominal.append(link.capacity)
+            link.set_capacity(link.capacity * factor)
+            obs.emit(
+                obs.FAULT_INJECT, self.sim.now, kind="degrade-fabric", factor=factor
+            )
+            self._note("degrade-fabric", "fabric")
+
+        def _restore() -> None:
+            link.set_capacity(nominal[0])
+            obs.emit(obs.FAULT_CLEAR, self.sim.now, kind="degrade-fabric")
+            self._note("restore-fabric", "fabric")
+
+        self.sim.call_at(when, _degrade)
+        self.sim.call_at(when + restore_after, _restore)
+
+    def crash_tier_move_at(
+        self, when: float, recover_after: Optional[float] = None
+    ) -> None:
+        """Fail the server currently *driving* an archive tier move.
+
+        The target is resolved at fire time: the bound node of a live
+        lifecycle move if one exists (crashing mid-move is the point),
+        else the lowest-id node with a live slave -- so the fault is
+        never a silent no-op on a quiet schedule.  The archive media
+        itself survives (fabric-attached); what dies is the mover's
+        disk source / accounting partition.
+        """
+        if self.master is None:
+            raise RuntimeError("no migration master attached")
+        killed: dict = {"slave": False, "node": None}
+
+        def _target() -> Optional[int]:
+            moves = getattr(self.master, "_lifecycle_moves", {})
+            for record in moves.values():
+                if record.status.is_terminal or record.bound_node is None:
+                    continue
+                if self.cluster.node(record.bound_node).alive:
+                    return record.bound_node
+            for node_id in sorted(self.master.slaves):
+                if (
+                    self.cluster.node(node_id).alive
+                    and self.master.slaves[node_id].alive
+                ):
+                    return node_id
+            return None
+
+        def _crash() -> None:
+            node_id = _target()
+            if node_id is None:
+                self._note("skip-crash-tier-move", "none")
+                return
+            killed["node"] = node_id
+            self.cluster.node(node_id).fail()
+            slave = self.master.slaves.get(node_id)
+            if slave is not None and slave.alive:
+                slave.crash()
+                killed["slave"] = True
+            obs.emit(
+                obs.FAULT_INJECT, self.sim.now, kind="crash-tier-move", node=node_id
+            )
+            self._note("crash-tier-move", f"node{node_id}")
+
+        self.sim.call_at(when, _crash)
+        if recover_after is not None:
+
+            def _recover() -> None:
+                node_id = killed["node"]
+                if node_id is None:
+                    self._note("skip-tier-move-recover", "none")
+                    return
+                node = self.cluster.node(node_id)
+                if not node.alive:
+                    node.recover()
+                if killed["slave"]:
+                    slave = self.master.slaves.get(node_id)
+                    if slave is not None and not slave.alive:
+                        slave.restart()
+                obs.emit(
+                    obs.FAULT_CLEAR, self.sim.now, kind="crash-tier-move",
+                    node=node_id,
+                )
+                self._note("recover-tier-move", f"node{node_id}")
+
+            self.sim.call_at(when + recover_after, _recover)
+
     # -- control-plane faults -------------------------------------------------------
 
     def partition_slave_at(
@@ -333,7 +435,13 @@ class ChaosCampaign:
         "degrade-nic",
         "partition",
         "rpc-delay",
+        # Archive faults -- appended so that filtering them out (no
+        # archive on the cluster) leaves the legacy seven in the legacy
+        # order, keeping every pre-archive fault plan byte-identical.
+        "degrade-fabric",
+        "crash-tier-move",
     )
+    ARCHIVE_KINDS = ("degrade-fabric", "crash-tier-move")
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -348,6 +456,9 @@ class ChaosCampaign:
             # Without a master only whole-server faults make sense.
             kinds = tuple(k for k in kinds if k in ("node-crash", "degrade-disk",
                                                     "degrade-nic"))
+        if getattr(self.injector.cluster.fabric, "archive_link", None) is None:
+            # Archive faults target hardware this cluster doesn't have.
+            kinds = tuple(k for k in kinds if k not in self.ARCHIVE_KINDS)
         self.kinds = kinds
 
     def sample(self) -> list[ChaosFault]:
@@ -396,6 +507,13 @@ class ChaosCampaign:
             elif kind == "rpc-delay":
                 param = float(rng.uniform(0.2, 2.0))
                 duration = float(rng.uniform(0.05, 0.2) * self.horizon)
+            elif kind == "degrade-fabric":
+                node_id = None  # the link is cluster-wide
+                param = float(rng.uniform(0.1, 0.5))
+                duration = float(rng.uniform(0.05, 0.2) * self.horizon)
+            elif kind == "crash-tier-move":
+                node_id = None  # target resolved at fire time
+                duration = float(rng.uniform(0.05, 0.15) * self.horizon)
             plan.append(
                 ChaosFault(
                     time=when, kind=kind, node_id=node_id,
@@ -432,6 +550,10 @@ class ChaosCampaign:
                 inj.delay_rpc_at(
                     fault.time, fault.node_id, fault.param, fault.duration
                 )
+            elif fault.kind == "degrade-fabric":
+                inj.degrade_fabric_at(fault.time, fault.param, fault.duration)
+            elif fault.kind == "crash-tier-move":
+                inj.crash_tier_move_at(fault.time, fault.duration)
         return self.plan
 
 
@@ -458,6 +580,12 @@ def quiesce_violations(master: "MigrationMaster") -> list[str]:
         if not record.status.is_terminal:
             problems.append(
                 f"tier record {record.block_id} stuck {record.status.value}"
+                f" (bound_node={record.bound_node})"
+            )
+    for record in getattr(master, "lifecycle_record_log", []):
+        if not record.status.is_terminal:
+            problems.append(
+                f"lifecycle record {record.block_id} stuck {record.status.value}"
                 f" (bound_node={record.bound_node})"
             )
     namenode = master.namenode
@@ -495,5 +623,24 @@ def quiesce_violations(master: "MigrationMaster") -> list[str]:
                     problems.append(
                         f"node{node.node_id} pins {block_id} on ssd"
                         " with no matching ssd-directory entry"
+                    )
+    # Archive consistency is checked WITHOUT the liveness requirement:
+    # the archive is fabric-attached, so a copy owned (for accounting)
+    # by a dead node is still durable and still readable.
+    archive_directory = getattr(namenode, "archive_directory", {})
+    for block_id, node_id in archive_directory.items():
+        node = namenode.cluster.node(node_id)
+        if node.archive is None or not node.archive.is_pinned(block_id):
+            problems.append(
+                f"archive directory maps {block_id} to node{node_id}"
+                " but nothing is pinned there"
+            )
+    for node in namenode.cluster.nodes:
+        if node.archive is not None:
+            for block_id in node.archive.pinned_keys():
+                if archive_directory.get(block_id) != node.node_id:
+                    problems.append(
+                        f"node{node.node_id} pins {block_id} on archive"
+                        " with no matching archive-directory entry"
                     )
     return problems

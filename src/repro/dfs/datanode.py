@@ -41,6 +41,8 @@ class ReadSource(enum.Enum):
     REMOTE_SSD = "remote-ssd"
     LOCAL_DISK = "local-disk"
     REMOTE_DISK = "remote-disk"
+    LOCAL_ARCHIVE = "local-archive"
+    REMOTE_ARCHIVE = "remote-archive"
 
     @property
     def is_memory(self) -> bool:
@@ -49,6 +51,10 @@ class ReadSource(enum.Enum):
     @property
     def is_ssd(self) -> bool:
         return self in (ReadSource.LOCAL_SSD, ReadSource.REMOTE_SSD)
+
+    @property
+    def is_archive(self) -> bool:
+        return self in (ReadSource.LOCAL_ARCHIVE, ReadSource.REMOTE_ARCHIVE)
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,17 @@ class DataNode:
     def has_ssd_replica(self, block_id: BlockId) -> bool:
         return self.node.ssd is not None and self.node.ssd.is_pinned(block_id)
 
+    def has_archive_replica(self, block_id: BlockId) -> bool:
+        return self.node.archive is not None and self.node.archive.is_pinned(
+            block_id
+        )
+
+    def remove_disk_replica(self, block_id: BlockId) -> None:
+        """Forget the disk replica of ``block_id`` (lifecycle
+        demotion); idempotent -- the block map is updated separately by
+        the NameNode."""
+        self._disk_blocks.discard(block_id)
+
     def memory_block_ids(self) -> tuple[BlockId, ...]:
         """Blocks currently pinned in this node's memory."""
         return self.node.memory.pinned_keys()  # type: ignore[return-value]
@@ -101,6 +118,12 @@ class DataNode:
         if self.node.ssd is None:
             return ()
         return self.node.ssd.pinned_keys()  # type: ignore[return-value]
+
+    def archive_block_ids(self) -> tuple[BlockId, ...]:
+        """Blocks archived under this node's partition."""
+        if self.node.archive is None:
+            return ()
+        return self.node.archive.pinned_keys()  # type: ignore[return-value]
 
     @property
     def disk_replica_count(self) -> int:
@@ -140,6 +163,13 @@ class DataNode:
                     f"node{self.node_id} has no SSD replica of block {block.block_id}"
                 )
             return self.node.ssd.read(block.size, tag=tag)
+        if source_tier == "archive":
+            if not self.has_archive_replica(block.block_id):
+                raise KeyError(
+                    f"node{self.node_id} has no archived copy of block "
+                    f"{block.block_id}"
+                )
+            return self.node.archive.read(block.size, tag=tag)
         raise ValueError(f"unknown source tier {source_tier!r}")
 
     def pin_block(self, block: Block) -> None:
@@ -178,6 +208,28 @@ class DataNode:
                 block=block_id,
                 node=self.node_id,
                 tier="ssd",
+                nbytes=freed,
+            )
+        return freed
+
+    def pin_block_archive(self, block: Block) -> None:
+        """Account ``block`` as archived under this node's partition."""
+        if self.node.archive is None:
+            raise RuntimeError(f"node{self.node_id} has no archive tier")
+        self.node.archive.pin(block.block_id, block.size)
+
+    def unpin_block_archive(self, block_id: BlockId) -> float:
+        """Drop a block from the archive partition; idempotent."""
+        if self.node.archive is None:
+            return 0.0
+        freed = self.node.archive.unpin(block_id)
+        if freed > 0:
+            obs.emit(
+                obs.BUFFER_RELEASE,
+                self.node.sim.now,
+                block=block_id,
+                node=self.node_id,
+                tier="archive",
                 nbytes=freed,
             )
         return freed
@@ -266,6 +318,20 @@ class DataNode:
             flow = self.node.disk.channel.start_flow(block.size, tag=tag)
             cancel = lambda: self.node.disk.channel.cancel(flow)  # noqa: E731
             event = flow.done
+        elif self.has_archive_replica(block.block_id):
+            # The slowest rung: the shared archive link is the
+            # bottleneck for local and remote readers alike (the data
+            # is fabric-attached either way).  The per-operation setup
+            # latency is folded into policy cost estimates rather than
+            # each read, keeping the read path a cancellable pure flow.
+            source = (
+                ReadSource.LOCAL_ARCHIVE
+                if reader_node == self.node_id
+                else ReadSource.REMOTE_ARCHIVE
+            )
+            flow = self.node.archive.channel.start_flow(block.size, tag=tag)
+            cancel = lambda: self.node.archive.channel.cancel(flow)  # noqa: E731
+            event = flow.done
         else:
             raise KeyError(
                 f"node{self.node_id} holds no replica of block {block.block_id}"
@@ -277,6 +343,8 @@ class DataNode:
                 etype = obs.READ_MEMORY
             elif source.is_ssd:
                 etype = obs.READ_SSD
+            elif source.is_archive:
+                etype = obs.READ_ARCHIVE
             else:
                 etype = obs.READ_DISK
             obs.emit(

@@ -86,6 +86,21 @@ class NameNode:
         #: Soft state: block id -> node id of the SSD-cached replica
         #: (the tiered-storage extension; empty for the paper's schemes).
         self.ssd_directory: dict[BlockId, int] = {}
+        #: Block id -> node id owning the archived copy (the lifecycle
+        #: extension; empty for the paper's schemes).  Unlike the fast-
+        #: tier directories this is *durable block-map state*, not
+        #: master soft state: archival migration rewrites the block map
+        #: (disk replicas are dropped), so losing the archive location
+        #: would orphan the data.  It therefore survives migration-
+        #: master crashes, and the owning node need not be alive to
+        #: serve it (the archive is fabric-attached).
+        self.archive_directory: dict[BlockId, int] = {}
+        #: Per-block replication-factor overrides (lifecycle extension):
+        #: the replication scheduler lowers a COLD archived block's disk
+        #: complement here so the ReplicationMonitor stops "healing" the
+        #: deliberate under-replication.  Durable block-map state, like
+        #: :attr:`archive_directory`.
+        self.replication_overrides: dict[BlockId, int] = {}
         #: Read directives: block id -> replica node reads should be
         #: steered to even before (or without) migration completing.
         #: Ignem's replica selection pins reads this way -- which is
@@ -190,12 +205,14 @@ class NameNode:
 
     def replication_target(self, block: Block) -> int:
         """The live-replica count re-replication aims for: the
-        configured factor, bounded by how many eligible hosts exist."""
+        configured factor (or the block's lifecycle override), bounded
+        by how many eligible hosts exist."""
         eligible = {
             nid for nid in self.datanodes if self.accepts_new_replicas(nid)
         }
         eligible.update(self.healthy_replicas(block))
-        return min(self.replication, len(eligible))
+        want = self.replication_overrides.get(block.block_id, self.replication)
+        return min(want, len(eligible))
 
     def is_drained(self, node_id: int) -> bool:
         """Every block with a replica on ``node_id`` already has its
@@ -252,10 +269,22 @@ class NameNode:
         """Tier notification: the SSD-cached replica is gone."""
         self.ssd_directory.pop(block_id, None)
 
+    def record_archive_replica(self, block_id: BlockId, node_id: int) -> None:
+        """Lifecycle notification: ``block_id`` is archived, owned by
+        ``node_id``'s archive partition."""
+        self.archive_directory[block_id] = node_id
+
+    def drop_archive_replica(self, block_id: BlockId) -> None:
+        """Lifecycle notification: the archived copy is gone."""
+        self.archive_directory.pop(block_id, None)
+
     def drop_node_memory_state(self, node_id: int) -> None:
         """A restarted slave asks the master to forget its blocks
         (§III-C2).  Covers both fast-tier directories: the replacement
-        process starts with cold memory *and* a cold SSD cache."""
+        process starts with cold memory *and* a cold SSD cache.  The
+        archive directory is deliberately untouched -- archived data is
+        fabric-attached and survives the node (see
+        :mod:`repro.cluster.archive`)."""
         stale = [b for b, n in self.memory_directory.items() if n == node_id]
         for block_id in stale:
             del self.memory_directory[block_id]
@@ -283,7 +312,11 @@ class NameNode:
         3. a read directive (a scheme pinned this block's reads to one
            replica -- Ignem does this at binding time);
         4. a disk replica local to the reader;
-        5. any available disk replica (deterministically the first).
+        5. any available disk replica (deterministically the first);
+        6. the archived copy, as a last resort (the lifecycle extension
+           may have dropped every disk replica of a COLD block).  The
+           owning node need not be alive: the archive is fabric-
+           attached, and the actual pin state is verified on access.
 
         Raises
         ------
@@ -311,6 +344,11 @@ class NameNode:
             nid for nid in block.replica_nodes if self.is_available(nid)
         ]
         if not available:
+            archive_node = self.archive_directory.get(block.block_id)
+            if archive_node is not None:
+                dn = self.datanodes[archive_node]
+                if dn.has_archive_replica(block.block_id):
+                    return dn
             raise LookupError(
                 f"no available replica for block {block.block_id} "
                 f"(replicas on {list(block.replica_nodes)})"

@@ -32,10 +32,11 @@ from repro.units import GB, MB
 
 __all__ = ["ChaosCaseResult", "run_case", "run", "report", "DEFAULT_SCHEMES"]
 
-#: CI default: the paper scheme plus one push-binding baseline; the
-#: soak test suite widens this to dyrs-tiered as well.
-DEFAULT_SCHEMES = ("dyrs", "ignem")
-DEFAULT_WORKLOADS = ("sort", "swim")
+#: CI default: the paper scheme, one push-binding baseline, and the
+#: lifecycle extension (whose campaigns add the archive fault kinds);
+#: the soak test suite widens this to dyrs-tiered as well.
+DEFAULT_SCHEMES = ("dyrs", "ignem", "dyrs-lifecycle")
+DEFAULT_WORKLOADS = ("sort", "swim", "aging")
 
 #: RPC hardening knobs every chaos run enables: partitions and delay
 #: spikes must time out and retry instead of wedging the pull loop.
@@ -43,6 +44,16 @@ CHAOS_DYRS_OVERRIDES = {
     "rpc_timeout": 1.0,
     "rpc_max_retries": 2,
     "rpc_backoff_base": 0.1,
+}
+
+#: Compressed temperature timescales for the lifecycle scheme: data
+#: must cool to COLD and cross the archive threshold *inside* the
+#: CI-sized chaos horizon, or the archive faults have nothing to hit.
+CHAOS_TIER_OVERRIDES = {
+    "lifecycle_interval": 5.0,
+    "hot_age": 10.0,
+    "cold_age": 25.0,
+    "archive_age": 45.0,
 }
 
 
@@ -88,6 +99,22 @@ def _submit_workload(system, workload: str, seed: int):
             mean_interarrival=4.0,
         )
         return materialize_swim_jobs(system, descriptors)
+    if workload == "aging":
+        from repro.workloads.aging import (
+            generate_aging_workload,
+            materialize_aging_jobs,
+        )
+
+        descriptors = generate_aging_workload(
+            system.cluster.rngs.stream("chaos.aging"),
+            n_datasets=4,
+            dataset_size=768 * MB,
+            hot_reads=2,
+            hot_window=15.0,
+            cold_gap=50.0,
+            reheat_fraction=0.5,
+        )
+        return materialize_aging_jobs(system, descriptors)
     raise ValueError(f"unknown chaos workload: {workload!r}")
 
 
@@ -101,12 +128,16 @@ def run_case(
     """One seeded campaign; returns the audited result."""
     result = ChaosCaseResult(scheme=scheme, workload=workload, seed=seed)
     with obs.tracing() as tracer:
+        tier_overrides = (
+            dict(CHAOS_TIER_OVERRIDES) if scheme == "dyrs-lifecycle" else {}
+        )
         system = build_system(
             PaperSetup(
                 scheme=scheme,
                 seed=seed,
                 interference="none",
                 dyrs_overrides=dict(CHAOS_DYRS_OVERRIDES),
+                tier_overrides=tier_overrides,
             )
         )
         master = system.master
@@ -126,6 +157,17 @@ def run_case(
         # mid-outage.
         grace = 30.0
         system.sim.run(until=max(system.sim.now, horizon) + grace)
+        # The lifecycle mover serializes archive moves over one shared
+        # fabric link, so demotes queued late in the run can outlive
+        # the grace window.  Give them bounded extra time: each block
+        # archives at most once, so the queue converges.  (No sim time
+        # passes between the final check and the audit below.)
+        moves = getattr(master, "_lifecycle_moves", {})
+        deadline = system.sim.now + 10 * grace
+        while system.sim.now < deadline and any(
+            not r.status.is_terminal for r in moves.values()
+        ):
+            system.sim.run(until=system.sim.now + grace / 3)
 
         result.injections = len(injector.log)
         result.sim_time = system.sim.now

@@ -77,6 +77,12 @@ def _chaos():
     return chaos.run, chaos.report
 
 
+def _lifecycle():
+    from repro.experiments import lifecycle
+
+    return lifecycle.run, lifecycle.report
+
+
 def _ablations():
     from repro.experiments import ablations
 
@@ -108,6 +114,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "micro": ("§I read-path micro-claims", _micro),
     "ablations": ("DESIGN.md §6 ablations", _ablations),
     "chaos": ("§III-C chaos soak (invariant-gated)", _chaos),
+    "lifecycle": ("DESIGN.md §10 archive tier / aging workload", _lifecycle),
 }
 
 

@@ -72,6 +72,11 @@ class PaperSetup:
         The platform lead-time component (§II-C1).
     memory_limit:
         Optional per-node migration memory cap (§IV-A1).
+    tier_overrides:
+        :class:`~repro.tiers.TierConfig` field overrides for the
+        tiered/lifecycle schemes (empty = scheme defaults).  Chaos and
+        lifecycle experiments use this to compress the temperature
+        timescales into a CI-sized horizon.
     """
 
     scheme: str = "dyrs"
@@ -87,6 +92,23 @@ class PaperSetup:
     task_slots: int = 6
     seek_penalty: float = 0.3
     dyrs_overrides: dict = field(default_factory=dict)
+    tier_overrides: dict = field(default_factory=dict)
+
+
+def _tier_config(scheme: str, overrides: dict):
+    """Build the tier config for ``scheme`` from field overrides.
+
+    Lifecycle-only fields (or the lifecycle scheme itself) select the
+    :class:`~repro.lifecycle.LifecycleConfig` variant so its defaults
+    (table policy, archive thresholds) apply.
+    """
+    from repro.lifecycle import LifecycleConfig
+    from repro.tiers import TierConfig
+
+    lifecycle_fields = {"archive_age", "cold_replication"}
+    if scheme == "dyrs-lifecycle" or (overrides.keys() & lifecycle_fields):
+        return LifecycleConfig(**overrides)
+    return TierConfig(**overrides)
 
 
 def build_system(setup: PaperSetup) -> System:
@@ -119,6 +141,7 @@ def build_system(setup: PaperSetup) -> System:
                 seed=setup.seed,
             ),
             dyrs=dyrs,
+            tiers=_tier_config(scheme, setup.tier_overrides),
             compute=ComputeConfig(
                 task_launch_overhead=setup.task_launch_overhead,
                 job_init_overhead=setup.job_init_overhead,

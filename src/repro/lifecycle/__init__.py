@@ -1,0 +1,47 @@
+"""Data-lifecycle management: the cold end of the storage ladder.
+
+The paper's machinery only moves data *up* (disk to memory, and in the
+tiered extension disk to SSD to memory).  This package closes the
+loop: blocks are classified HOT/WARM/COLD from the temperature
+tracker's EWMAs, a declarative policy table says where each class
+lives and how replicated it is, and a serialized, integrity-checked
+mover demotes cold data to the fabric-attached archive tier and
+restores it -- re-replicated first -- when it heats back up.
+
+Modules
+-------
+``policy``
+    The per-temperature table (:class:`LifecycleTable`) and its
+    adapter onto the shared tier machinery (:class:`TablePolicy`).
+``integrity``
+    Checksums recorded at archival write and verified before any copy
+    is deleted (:class:`ChecksumRegistry`).
+``replication``
+    The temperature-driven replication scheduler
+    (:class:`ReplicationScheduler`).
+``master``
+    :class:`LifecycleMaster`, the tiered DYRS master extended with the
+    archive pass, and its :class:`LifecycleConfig`.
+"""
+
+from repro.lifecycle.integrity import ChecksumRegistry, block_checksum
+from repro.lifecycle.master import LifecycleConfig, LifecycleMaster
+from repro.lifecycle.policy import (
+    LifecycleRule,
+    LifecycleTable,
+    TablePolicy,
+    default_table,
+)
+from repro.lifecycle.replication import ReplicationScheduler
+
+__all__ = [
+    "ChecksumRegistry",
+    "LifecycleConfig",
+    "LifecycleMaster",
+    "LifecycleRule",
+    "LifecycleTable",
+    "ReplicationScheduler",
+    "TablePolicy",
+    "block_checksum",
+    "default_table",
+]

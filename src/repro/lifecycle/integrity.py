@@ -1,0 +1,89 @@
+"""Checksums for integrity-checked tier moves.
+
+Real lifecycle managers (HDFS mover, HSM policies) verify block
+checksums whenever data crosses a storage boundary: archival media and
+long network paths are exactly where silent corruption creeps in.  The
+simulator models the *protocol*, not the arithmetic -- a block's
+"contents" are fully determined by its identity, so the reference
+checksum is a pure function of ``(block_id, size)`` and verification
+always succeeds unless a fault was injected.
+
+:class:`ChecksumRegistry` keeps the digest recorded at archival-write
+time.  The registry is *durable metadata stored with the data* (HDFS
+keeps block checksums in sidecar ``.meta`` files on the same volume):
+it survives migration-master crashes, and entries live exactly as long
+as the archived copy they guard.
+
+Corruption is an injection, not an emergent event: chaos experiments
+call :meth:`ChecksumRegistry.corrupt` to flip a stored digest, and the
+next move touching the block takes the ``tier_move_corrupt`` path --
+which must leave the source copy intact (the whole point of verifying
+before deleting).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dfs.block import Block, BlockId
+
+__all__ = ["ChecksumRegistry", "block_checksum"]
+
+
+def block_checksum(block_id: "BlockId", size: float) -> int:
+    """The reference digest of a block's (simulated) contents.
+
+    Deterministic in the block's identity so every verifier computes
+    the same value without the simulator materializing data bytes.
+    """
+    return zlib.crc32(f"{block_id}:{size!r}".encode("ascii"))
+
+
+class ChecksumRegistry:
+    """Digests recorded at archival write, verified on every move."""
+
+    def __init__(self) -> None:
+        self._sums: dict["BlockId", int] = {}
+
+    def record(self, block: "Block") -> int:
+        """Compute and store the digest at write time; returns it."""
+        digest = block_checksum(block.block_id, block.size)
+        self._sums[block.block_id] = digest
+        return digest
+
+    def get(self, block_id: "BlockId") -> Optional[int]:
+        """The stored digest, or None if never recorded (or forgotten)."""
+        return self._sums.get(block_id)
+
+    def has(self, block_id: "BlockId") -> bool:
+        return block_id in self._sums
+
+    def verify(self, block: "Block") -> bool:
+        """Whether the stored digest matches a fresh computation.
+
+        False when no digest was recorded: an archived copy without a
+        checksum is itself an integrity violation (the invariant
+        checker flags it from the trace too).
+        """
+        stored = self._sums.get(block.block_id)
+        if stored is None:
+            return False
+        return stored == block_checksum(block.block_id, block.size)
+
+    def corrupt(self, block_id: "BlockId") -> None:
+        """Fault injection: flip the stored digest so the next
+        verification fails.  Raises ``KeyError`` if nothing is stored
+        (corrupting data that was never written is meaningless)."""
+        self._sums[block_id] = self._sums[block_id] ^ 0xFFFFFFFF
+
+    def forget(self, block_id: "BlockId") -> None:
+        """Drop a digest; idempotent (paired with dropping the copy)."""
+        self._sums.pop(block_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChecksumRegistry entries={len(self._sums)}>"

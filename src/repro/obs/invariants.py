@@ -25,6 +25,20 @@ the trace convicts it even when unit tests pass.  Checked:
    :data:`LEGAL_TRANSITIONS`, the same lattice lint rule SM202
    extracts statically from ``core/records.py``.
 
+:meth:`TraceInvariants.lifecycle_violations` audits the lifecycle
+extension's ``tier_move`` vocabulary (no-op on paper-scheme traces,
+which emit none):
+
+8. **No block resident in zero tiers** -- every ``tier_move`` (and
+   every ``tier_move_corrupt``, whose contract is
+   verify-before-delete) carries the authoritative post-move
+   ``resident`` tier list, which must be non-empty.
+9. **No archive copy without a checksum** -- a move leaving the block
+   archive-resident must carry the recorded digest.
+10. **Replica conservation** -- an archive demotion lands exactly on
+    its durable-copy target (``replicas_after == target_replicas``)
+    and every move keeps at least one durable copy.
+
 :meth:`TraceInvariants.liveness_violations` adds the chaos-campaign
 *liveness* conditions -- the properties the stranded-binding fixes
 exist to uphold, checked per run segment:
@@ -190,6 +204,59 @@ class TraceInvariants:
 
         return found
 
+    def lifecycle_violations(self) -> list[str]:
+        """Tier-move invariants (checks 8-10 above).
+
+        Each ``tier_move`` event self-certifies with the post-move
+        residency and replica ledger the lifecycle master computed from
+        NameNode state; the checks hold every event to the contract, so
+        a move that deleted its source before verifying, archived
+        without a digest, or dropped the durable-copy count convicts
+        itself.
+        """
+        found: list[str] = []
+        for i, event in enumerate(self.events):
+            etype, f = event.type, event.fields
+            if etype not in (T.TIER_MOVE, T.TIER_MOVE_CORRUPT):
+                continue
+            where = f"event #{i} t={event.time}"
+            block = f.get("block")
+            resident = f.get("resident") or []
+            if not resident:
+                what = (
+                    "corrupt move left"
+                    if etype == T.TIER_MOVE_CORRUPT
+                    else "move left"
+                )
+                found.append(
+                    f"{where}: {what} block {block} resident in zero "
+                    "tiers (source deleted before the copy was safe)"
+                )
+            if etype == T.TIER_MOVE_CORRUPT:
+                # Verify-before-delete: nothing else to check; the
+                # resident list above already convicts a lost source.
+                continue
+            if "archive" in resident and not f.get("checksum"):
+                found.append(
+                    f"{where}: block {block} archive-resident without "
+                    "a recorded checksum (integrity model violated)"
+                )
+            after = f.get("replicas_after")
+            if after is not None and after < 1:
+                found.append(
+                    f"{where}: move of block {block} left "
+                    f"{after} durable copies (conservation violated)"
+                )
+            if f.get("dest") == "archive":
+                target = f.get("target_replicas")
+                if after is not None and target is not None and after != target:
+                    found.append(
+                        f"{where}: archive demotion of block {block} "
+                        f"left {after} durable copies, target "
+                        f"{target} (replication scheduler violated)"
+                    )
+        return found
+
     def liveness_violations(
         self, final_memory_bytes: Optional[float] = None
     ) -> list[str]:
@@ -272,8 +339,9 @@ class TraceInvariants:
         return found
 
     def check_all(self) -> None:
-        """Raise :class:`InvariantViolation` listing every violation."""
-        found = self.violations()
+        """Raise :class:`InvariantViolation` listing every violation
+        (protocol checks 1-4/7 plus the lifecycle checks 8-10)."""
+        found = self.violations() + self.lifecycle_violations()
         if found:
             raise InvariantViolation(
                 f"{len(found)} trace invariant violation(s):\n"

@@ -73,6 +73,7 @@ DEMOTE = "demote"
 READ_MEMORY = "read_memory"
 READ_SSD = "read_ssd"
 READ_DISK = "read_disk"
+READ_ARCHIVE = "read_archive"
 READ_DONE = "read_done"
 JOB_SUBMIT = "job_submit"
 JOB_FINISH = "job_finish"
@@ -94,6 +95,25 @@ RPC_RETRY = "rpc_retry"
 #: degrade-disk, degrade-nic, partition, rpc-delay).
 FAULT_INJECT = "fault_inject"
 FAULT_CLEAR = "fault_clear"
+#: Lifecycle tier-move vocabulary (:mod:`repro.lifecycle`): a
+#: completed integrity-checked move between storage tiers, and a move
+#: whose checksum verification failed.  ``TIER_MOVE`` carries the
+#: authoritative post-move residency (``resident`` tier list), the
+#: durable-copy ledger (``replicas_before``/``replicas_after``/
+#: ``target_replicas``) and the recorded ``checksum``; the invariant
+#: checker audits all three (see ``TraceInvariants.
+#: lifecycle_violations``).
+TIER_MOVE = "tier_move"
+TIER_MOVE_CORRUPT = "tier_move_corrupt"
+#: A tier move abandoned before completion (source unavailable, block
+#: re-heated mid-move, crash).  Deliberately *not* ``dropped``: archive
+#: moves never emit ``pending``, so reusing the migration-record
+#: vocabulary would corrupt the liveness ledger.
+TIER_MOVE_ABORT = "tier_move_abort"
+#: Configuration transparency: the system filled in a device spec the
+#: chosen scheme requires but the cluster spec omitted (e.g. the SSD
+#: for ``dyrs-tiered``, SSD + archive for ``dyrs-lifecycle``).
+CONFIG_DEFAULTED = "config_defaulted"
 
 
 @dataclass(frozen=True)

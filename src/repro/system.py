@@ -20,13 +20,23 @@ Two more schemes support specific figures:
 ``"instant"``
     The zero-cost hypothetical migrator (Fig 7b).
 
-One scheme is an extension beyond the paper:
+Two schemes are extensions beyond the paper:
 
 ``"dyrs-tiered"``
     DYRS plus the SSD tier of :mod:`repro.tiers` -- block-temperature
     tracking, background disk->ssd promotion, and demote-on-evict.
-    Every node gets an SSD cache (the cluster spec's, or the default
-    :class:`~repro.cluster.ssd.SsdSpec` when the spec has none).
+``"dyrs-lifecycle"``
+    The tiered scheme plus :mod:`repro.lifecycle` -- an archive tier,
+    the HOT/WARM/COLD policy table, integrity-checked archive moves,
+    and temperature-driven replication.
+
+Each scheme is one :class:`SchemeSpec` entry in :data:`SCHEME_REGISTRY`
+-- the master factory plus the wiring flags that used to live in
+scattered ``if scheme == ...`` chains.  Devices a scheme requires but
+the cluster spec omits (the SSD for the tiered schemes, SSD + archive
+for the lifecycle scheme) are filled in *visibly*: each default is
+announced with a ``config_defaulted`` trace event and recorded in
+:attr:`System.defaulted_devices`.
 
 :class:`System` wires everything and exposes the handful of handles
 experiments need.
@@ -34,22 +44,128 @@ experiments need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from dataclasses import dataclass, field, fields, replace
+from typing import Callable, Optional, Sequence
 
-from repro.cluster import Cluster, ClusterSpec, SsdSpec
+from repro.cluster import ArchiveSpec, Cluster, ClusterSpec, SsdSpec
 from repro.compute import ComputeConfig, JobRuntime, MetricsCollector, TaskScheduler
 from repro.core import DyrsConfig, DyrsMaster, DyrsSlave, IgnemMaster, NaiveBalancerMaster
 from repro.core.baselines import InstantMigrator
 from repro.dfs import DFSClient, NameNode, RandomPlacement
 from repro.dfs.heartbeat import HeartbeatService
 from repro.dfs.namespace import DEFAULT_BLOCK_SIZE
+from repro.lifecycle import LifecycleConfig, LifecycleMaster
 from repro.obs import trace as obs
 from repro.tiers import TierConfig, TieredDyrsMaster
 
-__all__ = ["System", "SystemConfig", "SCHEMES"]
+__all__ = ["System", "SystemConfig", "SCHEMES", "SCHEME_REGISTRY", "SchemeSpec"]
 
-SCHEMES = ("hdfs", "ram", "dyrs", "ignem", "naive", "instant", "dyrs-tiered")
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Everything scheme-specific about wiring a :class:`System`.
+
+    Attributes
+    ----------
+    name:
+        The scheme key, as accepted by :class:`SystemConfig`.
+    build_master:
+        Factory called with the partially built system (cluster,
+        namenode, and config exist; slaves do not yet), or None for
+        the master-less baselines.
+    has_slaves:
+        Whether a migration slave runs on every node (the instant
+        migrator has a master but no slave processes).
+    migrate_on_submit:
+        Whether job submission triggers a migration RPC; forced off
+        for the master-less baselines so the compute config stays
+        honest.
+    preload:
+        Whether :meth:`System.load_input` locks every block in memory
+        at creation (the ``ram`` upper bound).
+    default_devices:
+        Device specs the scheme needs on every node; any the cluster
+        spec omits are defaulted -- visibly -- at construction.
+    """
+
+    name: str
+    build_master: Optional[Callable[["System"], object]]
+    has_slaves: bool = True
+    migrate_on_submit: bool = True
+    preload: bool = False
+    default_devices: tuple[str, ...] = ()
+
+
+def _build_dyrs(system: "System"):
+    return DyrsMaster(system.namenode, system.config.dyrs)
+
+
+def _build_tiered(system: "System"):
+    return TieredDyrsMaster(
+        system.namenode, system.config.dyrs, tier_config=system.config.tiers
+    )
+
+
+def _build_lifecycle(system: "System"):
+    return LifecycleMaster(
+        system.namenode,
+        system.config.dyrs,
+        tier_config=_lifecycle_tier_config(system.config.tiers),
+    )
+
+
+def _build_ignem(system: "System"):
+    return IgnemMaster(system.namenode, system.cluster.rngs.stream("ignem"))
+
+
+def _build_naive(system: "System"):
+    return NaiveBalancerMaster(system.namenode)
+
+
+def _build_instant(system: "System"):
+    return InstantMigrator(system.namenode)
+
+
+def _lifecycle_tier_config(tiers: TierConfig) -> LifecycleConfig:
+    """Upgrade a plain :class:`TierConfig` to the lifecycle variant.
+
+    An explicit :class:`LifecycleConfig` passes through untouched.  A
+    plain config keeps every field it sets; only the stock
+    ``"threshold"`` policy (the :class:`TierConfig` default) is mapped
+    to the lifecycle default ``"table"``.
+    """
+    if isinstance(tiers, LifecycleConfig):
+        return tiers
+    kwargs = {f.name: getattr(tiers, f.name) for f in fields(TierConfig)}
+    if kwargs["policy"] == "threshold":
+        kwargs["policy"] = "table"
+    return LifecycleConfig(**kwargs)
+
+
+#: The scheme table; iteration order is the canonical scheme order.
+SCHEME_REGISTRY: dict[str, SchemeSpec] = {
+    spec.name: spec
+    for spec in (
+        SchemeSpec("hdfs", build_master=None, migrate_on_submit=False),
+        SchemeSpec(
+            "ram", build_master=None, migrate_on_submit=False, preload=True
+        ),
+        SchemeSpec("dyrs", build_master=_build_dyrs),
+        SchemeSpec("ignem", build_master=_build_ignem),
+        SchemeSpec("naive", build_master=_build_naive),
+        SchemeSpec("instant", build_master=_build_instant, has_slaves=False),
+        SchemeSpec(
+            "dyrs-tiered", build_master=_build_tiered, default_devices=("ssd",)
+        ),
+        SchemeSpec(
+            "dyrs-lifecycle",
+            build_master=_build_lifecycle,
+            default_devices=("ssd", "archive"),
+        ),
+    )
+}
+
+SCHEMES = tuple(SCHEME_REGISTRY)
 
 
 @dataclass(frozen=True)
@@ -81,19 +197,29 @@ class SystemConfig:
                 self, "dyrs", replace(self.dyrs, reference_block_size=self.block_size)
             )
 
+    @property
+    def scheme_spec(self) -> SchemeSpec:
+        return SCHEME_REGISTRY[self.scheme]
+
 
 class System:
     """A fully wired simulated deployment."""
 
     def __init__(self, config: Optional[SystemConfig] = None) -> None:
         self.config = config or SystemConfig()
-        cluster_spec = self.config.cluster
-        if self.config.scheme == "dyrs-tiered" and cluster_spec.ssd is None:
-            # The tiered scheme needs an SSD on every node; give the
-            # default cache when the spec does not carry one.
-            cluster_spec = replace(cluster_spec, ssd=SsdSpec())
+        scheme_spec = self.config.scheme_spec
+        cluster_spec, self.defaulted_devices = self._apply_device_defaults(
+            self.config.cluster, scheme_spec.default_devices
+        )
         self.cluster = Cluster(cluster_spec)
         self.sim = self.cluster.sim
+        for device in self.defaulted_devices:
+            obs.emit(
+                obs.CONFIG_DEFAULTED,
+                self.sim.now,
+                scheme=self.config.scheme,
+                device=device,
+            )
         n = len(self.cluster.nodes)
         self.namenode = NameNode(
             self.cluster,
@@ -104,9 +230,13 @@ class System:
         )
         self.client = DFSClient(self.namenode)
         self.heartbeats = HeartbeatService(self.namenode)
-        self.master = self._build_master()
+        self.master = (
+            scheme_spec.build_master(self)
+            if scheme_spec.build_master is not None
+            else None
+        )
         self.slaves: list[DyrsSlave] = []
-        if self.master is not None and self.config.scheme != "instant":
+        if self.master is not None and scheme_spec.has_slaves:
             self.slaves = [
                 DyrsSlave(self.namenode.datanodes[node.node_id], self.master, self.config.dyrs)
                 for node in self.cluster.nodes
@@ -128,27 +258,26 @@ class System:
         )
         self._started = False
 
-    def _build_master(self):
-        scheme = self.config.scheme
-        if scheme in ("hdfs", "ram"):
-            return None
-        if scheme == "dyrs":
-            return DyrsMaster(self.namenode, self.config.dyrs)
-        if scheme == "dyrs-tiered":
-            return TieredDyrsMaster(
-                self.namenode, self.config.dyrs, tier_config=self.config.tiers
-            )
-        if scheme == "ignem":
-            return IgnemMaster(self.namenode, self.cluster.rngs.stream("ignem"))
-        if scheme == "naive":
-            return NaiveBalancerMaster(self.namenode)
-        if scheme == "instant":
-            return InstantMigrator(self.namenode)
-        raise AssertionError(scheme)
+    @staticmethod
+    def _apply_device_defaults(
+        cluster_spec: ClusterSpec, devices: tuple[str, ...]
+    ) -> tuple[ClusterSpec, tuple[str, ...]]:
+        """Fill in device specs the scheme requires but the cluster
+        spec omits; returns the (possibly new) spec and the names of
+        the devices that were defaulted."""
+        defaulted: list[str] = []
+        for device in devices:
+            if device == "ssd" and cluster_spec.ssd is None:
+                cluster_spec = replace(cluster_spec, ssd=SsdSpec())
+                defaulted.append("ssd")
+            elif device == "archive" and cluster_spec.archive is None:
+                cluster_spec = replace(cluster_spec, archive=ArchiveSpec())
+                defaulted.append("archive")
+        return cluster_spec, tuple(defaulted)
 
     def _effective_compute_config(self) -> ComputeConfig:
         base = self.config.compute
-        if self.config.scheme in ("hdfs", "ram"):
+        if not self.config.scheme_spec.migrate_on_submit:
             # No master to call; keep the flag honest.
             return replace(base, migrate_on_submit=False)
         return base
@@ -183,7 +312,7 @@ class System:
         (§V-A); creation is therefore free of simulated I/O.
         """
         entry = self.client.create_file(name, size)
-        if self.config.scheme == "ram":
+        if self.config.scheme_spec.preload:
             for block in entry.blocks:
                 node_id = block.replica_nodes[0]
                 self.namenode.datanodes[node_id].pin_block(block)

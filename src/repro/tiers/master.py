@@ -87,14 +87,18 @@ class TierConfig:
     promote_warm_to_ssd: bool = True
     demote_to_ssd: bool = True
 
+    #: Accepted ``policy`` values; subclasses (the lifecycle extension)
+    #: widen this.  Plain class attribute, not a dataclass field.
+    _POLICIES = ("threshold", "cost-benefit")
+
     def __post_init__(self) -> None:
         if self.lifecycle_interval <= 0:
             raise ValueError(
                 f"lifecycle_interval must be positive, got {self.lifecycle_interval}"
             )
-        if self.policy not in ("threshold", "cost-benefit"):
+        if self.policy not in self._POLICIES:
             raise ValueError(
-                f"policy must be 'threshold' or 'cost-benefit', got {self.policy!r}"
+                f"policy must be one of {self._POLICIES}, got {self.policy!r}"
             )
         if self.horizon <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon}")
@@ -143,6 +147,8 @@ class TieredDyrsMaster(DyrsMaster):
         self.tier_record_log: list[MigrationRecord] = []
         #: Completed moves per ladder edge: (source, dest) -> count.
         self.tier_moves: dict[tuple[str, str], int] = {}
+        #: Bytes moved per ladder edge: (source, dest) -> bytes.
+        self.tier_bytes: dict[tuple[str, str], float] = {}
         self.lifecycle_passes = 0
         self._lifecycle_proc: Optional[Process] = None
         self._metrics: Optional["MetricsCollector"] = None
@@ -187,9 +193,10 @@ class TieredDyrsMaster(DyrsMaster):
 
     # -- counters ----------------------------------------------------------------
 
-    def _count_move(self, source: str, dest: str) -> None:
+    def _count_move(self, source: str, dest: str, nbytes: float = 0.0) -> None:
         key = (source, dest)
         self.tier_moves[key] = self.tier_moves.get(key, 0) + 1
+        self.tier_bytes[key] = self.tier_bytes.get(key, 0.0) + nbytes
         if self._metrics is not None:
             self._metrics.record_tier_move(source, dest)
 
@@ -328,10 +335,10 @@ class TieredDyrsMaster(DyrsMaster):
         if record.dest_tier == "ssd":
             self._tier_records.pop(record.block_id, None)
             self._register_ssd_copy(record.block_id, node_id)
-            self._count_move(record.source_tier, "ssd")
+            self._count_move(record.source_tier, "ssd", record.block.size)
             return
         super().on_migration_complete(record, node_id, duration)
-        self._count_move(record.source_tier, "memory")
+        self._count_move(record.source_tier, "memory", record.block.size)
 
     def _evict_done_record(self, record: MigrationRecord) -> None:
         """Eviction with a middle rung: still-warm blocks step down to
@@ -367,7 +374,7 @@ class TieredDyrsMaster(DyrsMaster):
                 dn.pin_block_ssd(record.block)
                 node.ssd.write(record.block.size, tag=f"demote:{record.block_id}")
                 self._register_ssd_copy(record.block_id, node_id)
-                self._count_move("memory", "ssd")
+                self._count_move("memory", "ssd", record.block.size)
                 slave.notify_memory_freed()
                 record.mark_evicted()
                 obs.emit(
@@ -431,6 +438,15 @@ class TieredDyrsMaster(DyrsMaster):
             move_seconds_per_byte=slave.estimator.seconds_per_byte,
         )
 
+    def _pass_blocked(self, block_id: BlockId) -> bool:
+        """A live move already owns this block's disk traffic; the
+        lifecycle pass must not start another (subclasses add their own
+        move kinds)."""
+        for live in (self._records.get(block_id), self._tier_records.get(block_id)):
+            if live is not None and not live.status.is_terminal:
+                return True
+        return False
+
     def lifecycle_pass(self) -> dict[str, int]:
         """One promotion/expiry scan over the tracked blocks.
 
@@ -447,11 +463,7 @@ class TieredDyrsMaster(DyrsMaster):
             block = blocks.get(block_id)
             if block is None:
                 continue
-            live = self._records.get(block_id)
-            if live is not None and not live.status.is_terminal:
-                continue
-            tier_live = self._tier_records.get(block_id)
-            if tier_live is not None and not tier_live.status.is_terminal:
+            if self._pass_blocked(block_id):
                 continue
             mem_node = self.namenode.memory_directory.get(block_id)
             if mem_node is not None and self.namenode.datanodes[
@@ -469,7 +481,7 @@ class TieredDyrsMaster(DyrsMaster):
                     # so dropping the cache entry is free.
                     self.namenode.datanodes[ssd_node].unpin_block_ssd(block_id)
                     self.namenode.drop_ssd_replica(block_id)
-                    self._count_move("ssd", "disk")
+                    self._count_move("ssd", "disk", block.size)
                     obs.emit(
                         obs.DEMOTE,
                         now,

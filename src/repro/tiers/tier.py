@@ -16,9 +16,11 @@ charges.  Queueing/contention behaviour comes from the wrapped
 devices' existing channels -- a tier adds no second model of the
 hardware.
 
-Tiers are ordered by :data:`TIER_ORDER` (``disk`` < ``ssd`` <
-``memory``); moving a block to a higher rung is a *promotion*, to a
-lower rung a *demotion*.
+Tiers are ordered by :data:`TIER_ORDER` (``archive`` < ``disk`` <
+``ssd`` < ``memory``); moving a block to a higher rung is a
+*promotion*, to a lower rung a *demotion*.  The ``archive`` rung (the
+lifecycle extension) sits *below* disk: fabric-attached cold storage
+that only the lifecycle manager writes.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import math
 from typing import TYPE_CHECKING, Hashable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.archive import Archive
     from repro.cluster.device import ByteStore, Channel
     from repro.cluster.disk import Disk
     from repro.cluster.memory import MemoryStore
@@ -36,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "StorageTier",
+    "ArchiveTier",
     "DiskTier",
     "SsdTier",
     "MemoryTier",
@@ -45,7 +49,7 @@ __all__ = [
 ]
 
 #: Canonical rung order: index 0 is the slowest/bottom tier.
-TIER_ORDER: tuple[str, ...] = ("disk", "ssd", "memory")
+TIER_ORDER: tuple[str, ...] = ("archive", "disk", "ssd", "memory")
 
 
 def is_promotion(source: str, dest: str) -> bool:
@@ -159,6 +163,28 @@ class StorageTier:
         return f"<{type(self).__name__} used={self.used:.3g}/{cap}B>"
 
 
+class ArchiveTier(StorageTier):
+    """The bottom rung: the node's slice of fabric-attached cold
+    storage (see :mod:`repro.cluster.archive`).
+
+    ``read_seconds`` includes the archival per-operation latency, so
+    cost-benefit policies see archive reads as expensive even for tiny
+    blocks.
+    """
+
+    name = "archive"
+
+    def __init__(self, archive: "Archive") -> None:
+        super().__init__(store=archive.store, channel=archive.channel)
+        self.archive = archive
+
+    def write(self, nbytes: float, tag: str = "tier-write") -> "Event":
+        return self.archive.write(nbytes, tag=tag)
+
+    def read_seconds(self, nbytes: float) -> float:
+        return self.archive.read_seconds(nbytes)
+
+
 class DiskTier(StorageTier):
     """The bottom rung: the node's spinning disk.
 
@@ -208,7 +234,8 @@ def node_tiers(node: "Node") -> dict[str, StorageTier]:
     """The tier ladder present on ``node``, keyed by tier name.
 
     Always contains ``disk`` and ``memory``; ``ssd`` only when the node
-    spec carries an SSD cache.
+    spec carries an SSD cache, ``archive`` only when it owns an archive
+    partition.
     """
     tiers: dict[str, StorageTier] = {
         "disk": DiskTier(node.disk),
@@ -216,4 +243,6 @@ def node_tiers(node: "Node") -> dict[str, StorageTier]:
     }
     if node.ssd is not None:
         tiers["ssd"] = SsdTier(node.ssd)
+    if node.archive is not None:
+        tiers["archive"] = ArchiveTier(node.archive)
     return tiers

@@ -9,8 +9,16 @@ Google-trace motivation analysis.
   lead-time sweeps (§V-B3, §V-F);
 * :mod:`repro.workloads.google_trace` -- a synthetic stand-in for the
   Google cluster trace reproducing the published aggregates that
-  Figs 1-3 and §II-C are built on.
+  Figs 1-3 and §II-C are built on;
+* :mod:`repro.workloads.aging` -- hot-then-cold datasets with flash
+  re-heats, exercising the lifecycle/archive extension.
 """
+
+from repro.workloads.aging import (
+    AgingDatasetDescriptor,
+    generate_aging_workload,
+    materialize_aging_jobs,
+)
 
 from repro.workloads.swim import (
     SwimJobDescriptor,
@@ -36,6 +44,9 @@ from repro.workloads.sql import Aggregate, Join, Scan, compile_query
 
 __all__ = [
     "Aggregate",
+    "AgingDatasetDescriptor",
+    "generate_aging_workload",
+    "materialize_aging_jobs",
     "GoogleTraceModel",
     "Join",
     "Scan",

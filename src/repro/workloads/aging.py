@@ -1,0 +1,167 @@
+"""Aging workload: datasets that run hot, go cold, and flash back.
+
+The paper's workloads (sort, SWIM, Hive) exercise the *upward* half of
+the storage ladder -- data is created and read within minutes.  The
+lifecycle extension needs the other half: datasets whose access
+pattern decays, so the temperature tracker demotes them through WARM
+to COLD and the archive pass moves them off disk, and a late re-read
+("flash re-heat") that forces the restore + re-replicate + promote
+path.
+
+Each dataset gets
+
+* a burst of *hot reads* shortly after creation -- the working-set
+  phase that keeps it HOT/WARM;
+* a long *cold gap* with no access -- the EWMA decays, the block
+  crosses the COLD threshold, and (past ``archive_age``) the archive
+  pass picks it up;
+* optionally one *re-heat read* after the gap -- an analyst pulling up
+  last quarter's table -- which must be served (from the archive at
+  fabric bandwidth at worst) and triggers restoration to disk.
+
+Shapes are drawn from a seeded generator, so a workload is a pure
+function of its RNG stream -- the same determinism contract as
+:mod:`repro.workloads.swim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.compute.job import JobSpec, mapreduce_job
+from repro.dfs.client import EvictionMode
+from repro.units import MB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import System
+
+__all__ = [
+    "AgingDatasetDescriptor",
+    "generate_aging_workload",
+    "materialize_aging_jobs",
+]
+
+
+@dataclass(frozen=True)
+class AgingDatasetDescriptor:
+    """One dataset: its size, hot-phase reads, and optional re-heat."""
+
+    name: str
+    size: float
+    #: Submission times of the hot-phase read jobs (sorted, >= 0).
+    read_times: tuple[float, ...]
+    #: Submission time of the post-cold-gap read, or None if this
+    #: dataset stays cold forever (the archive keeps it).
+    reheat_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"{self.name}: size must be positive")
+        if not self.read_times:
+            raise ValueError(f"{self.name}: needs at least one hot read")
+        if any(t < 0 for t in self.read_times):
+            raise ValueError(f"{self.name}: negative read time")
+        if tuple(sorted(self.read_times)) != self.read_times:
+            raise ValueError(f"{self.name}: read_times must be sorted")
+        if self.reheat_time is not None and self.reheat_time <= self.read_times[-1]:
+            raise ValueError(
+                f"{self.name}: reheat_time must follow the hot phase"
+            )
+
+    @property
+    def reheats(self) -> bool:
+        return self.reheat_time is not None
+
+
+def generate_aging_workload(
+    rng: np.random.Generator,
+    n_datasets: int = 6,
+    dataset_size: float = 512 * MB,
+    hot_reads: int = 3,
+    hot_window: float = 25.0,
+    cold_gap: float = 50.0,
+    reheat_fraction: float = 0.5,
+    start_spread: float = 10.0,
+) -> list[AgingDatasetDescriptor]:
+    """Generate the dataset mix.
+
+    Each dataset is created at a start time uniform in
+    ``[0, start_spread)``, read ``hot_reads`` times inside its
+    ``hot_window``, then left alone for ``cold_gap`` seconds.  A
+    ``reheat_fraction`` of datasets (at least one, if the fraction is
+    nonzero) get one read after the gap.  Sizes jitter +/-25 % around
+    ``dataset_size`` so block counts differ across datasets.
+    """
+    if n_datasets < 1:
+        raise ValueError(f"n_datasets must be >= 1, got {n_datasets}")
+    if hot_reads < 1:
+        raise ValueError(f"hot_reads must be >= 1, got {hot_reads}")
+    if not 0 <= reheat_fraction <= 1:
+        raise ValueError(f"reheat_fraction must be in [0,1], got {reheat_fraction}")
+    if hot_window <= 0 or cold_gap <= 0:
+        raise ValueError("hot_window and cold_gap must be positive")
+
+    reheat_flags = rng.uniform(size=n_datasets) < reheat_fraction
+    if reheat_fraction > 0 and not reheat_flags.any():
+        reheat_flags[0] = True  # the workload must exercise restore
+    datasets: list[AgingDatasetDescriptor] = []
+    for i in range(n_datasets):
+        start = float(rng.uniform(0.0, start_spread))
+        size = float(dataset_size * rng.uniform(0.75, 1.25))
+        reads = start + np.sort(rng.uniform(0.0, hot_window, size=hot_reads))
+        reheat: Optional[float] = None
+        if reheat_flags[i]:
+            reheat = float(
+                reads[-1] + cold_gap + rng.uniform(0.0, 0.2 * cold_gap)
+            )
+        datasets.append(
+            AgingDatasetDescriptor(
+                name=f"aging-{i:02d}",
+                size=size,
+                read_times=tuple(float(t) for t in reads),
+                reheat_time=reheat,
+            )
+        )
+    return datasets
+
+
+def materialize_aging_jobs(
+    system: "System",
+    descriptors: Sequence[AgingDatasetDescriptor],
+    eviction: EvictionMode = EvictionMode.IMPLICIT,
+    map_cpu_per_byte: float = 30e-9,
+    task_overhead_cpu: float = 1.0,
+) -> list[JobSpec]:
+    """Create each dataset in the DFS and build one job per read.
+
+    Read jobs are scan-shaped (no shuffle, tiny output): the point is
+    the storage traffic, not the compute.  Jobs are returned in
+    submission order across all datasets.
+    """
+    specs: list[JobSpec] = []
+    for d in descriptors:
+        name = f"{d.name}/data"
+        system.load_input(name, d.size)
+        blocks = system.client.blocks_of([name])
+        times = list(d.read_times)
+        if d.reheat_time is not None:
+            times.append(d.reheat_time)
+        for i, t in enumerate(times):
+            specs.append(
+                mapreduce_job(
+                    f"{d.name}-read{i}",
+                    blocks,
+                    [name],
+                    shuffle_bytes=0.0,
+                    output_bytes=d.size * 0.01,
+                    submit_time=t,
+                    eviction=eviction,
+                    map_cpu_per_byte=map_cpu_per_byte,
+                    task_overhead_cpu=task_overhead_cpu,
+                )
+            )
+    specs.sort(key=lambda s: s.submit_time)
+    return specs

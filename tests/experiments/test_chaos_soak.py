@@ -16,6 +16,12 @@ PAIRS = [
     (scheme, workload)
     for scheme in ("dyrs", "dyrs-tiered", "ignem")
     for workload in ("sort", "swim")
+] + [
+    # The lifecycle scheme adds the archive fault kinds (degraded
+    # fabric link, crash mid-tier-move); the aging workload drives the
+    # full demote/restore arc those faults interrupt.
+    ("dyrs-lifecycle", "swim"),
+    ("dyrs-lifecycle", "aging"),
 ]
 
 

@@ -44,6 +44,21 @@ class TestDeterminism:
         b = swim.run(schemes=("hdfs", "dyrs"), n_jobs=40, seed=2)
         assert a.durations != b.durations
 
+    def test_lifecycle_run_is_bit_identical(self):
+        """The archive tier joins the contract: the full ledger --
+        counts, re-heat latencies, per-edge bytes -- replays exactly."""
+        from repro.experiments import lifecycle
+
+        a = lifecycle.run(seed=3)
+        b = lifecycle.run(seed=3)
+        assert a.archived_blocks == b.archived_blocks
+        assert a.restored_blocks == b.restored_blocks
+        assert a.reheat_latencies == b.reheat_latencies
+        assert a.tier_bytes == b.tier_bytes
+        assert a.resident_bytes == b.resident_bytes
+        for scheme, outcome in a.outcomes.items():
+            assert outcome == b.outcomes[scheme]
+
     def test_full_system_trace_identical(self):
         """Beyond aggregate durations: the entire migration record log
         (timestamps, bindings, statuses) must replay identically."""

@@ -1,0 +1,115 @@
+"""Unit tests for the declarative lifecycle policy table."""
+
+import pytest
+
+from repro.lifecycle import (
+    LifecycleConfig,
+    LifecycleRule,
+    LifecycleTable,
+    TablePolicy,
+    default_table,
+)
+from repro.tiers import TierConfig
+from repro.tiers.policy import PlacementContext
+from repro.tiers.temperature import Temperature
+
+
+class TestLifecycleRule:
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError):
+            LifecycleRule("floppy")
+
+    def test_rejects_nonpositive_replication(self):
+        with pytest.raises(ValueError):
+            LifecycleRule("archive", replication=0)
+
+    def test_none_replication_means_keep_configured_factor(self):
+        rule = LifecycleRule("disk")
+        assert rule.replication is None
+
+
+class TestLifecycleTable:
+    def test_default_table_shape(self):
+        table = default_table()
+        assert table.hot.placement == "memory"
+        assert table.warm.placement == "disk"
+        assert table.cold.placement == "archive"
+        assert table.cold.replication == 1
+
+    def test_rule_lookup_covers_all_temperatures(self):
+        table = default_table()
+        assert table.rule(Temperature.HOT) is table.hot
+        assert table.rule(Temperature.WARM) is table.warm
+        assert table.rule(Temperature.COLD) is table.cold
+
+    def test_replication_override_and_default(self):
+        table = default_table(cold_replication=2)
+        assert table.replication(Temperature.COLD, default=3) == 2
+        # HOT/WARM rules carry no override: the configured factor wins.
+        assert table.replication(Temperature.HOT, default=3) == 3
+
+    def test_rejects_non_monotone_ladder(self):
+        with pytest.raises(ValueError):
+            LifecycleTable(
+                hot=LifecycleRule("disk"),
+                warm=LifecycleRule("memory"),
+            )
+        with pytest.raises(ValueError):
+            LifecycleTable(cold=LifecycleRule("memory"))
+
+
+class TestTablePolicy:
+    def _ctx(self, temperature, tiers=("disk", "ssd", "memory")):
+        return PlacementContext(
+            block_size=1.0,
+            temperature=temperature,
+            access_rate=0.0,
+            resident_tier="disk",
+            tiers=dict.fromkeys(tiers),
+            move_seconds_per_byte=0.0,
+        )
+
+    def test_archive_placement_bottoms_out_at_disk(self):
+        """The shared tier machinery never moves data below disk; the
+        lifecycle master's archive pass owns that step."""
+        policy = TablePolicy()
+        assert policy.target_tier(self._ctx(Temperature.COLD)) == "disk"
+
+    def test_hot_placement_degrades_to_best_available(self):
+        policy = TablePolicy()
+        assert policy.target_tier(self._ctx(Temperature.HOT)) == "memory"
+        assert (
+            policy.target_tier(self._ctx(Temperature.HOT, tiers=("disk", "ssd")))
+            == "ssd"
+        )
+
+
+class TestLifecycleConfig:
+    def test_defaults_pick_the_table_policy(self):
+        config = LifecycleConfig()
+        assert config.policy == "table"
+        assert isinstance(config.build_policy(), TablePolicy)
+
+    def test_inherited_policies_still_available(self):
+        from repro.tiers import ThresholdPolicy
+
+        config = LifecycleConfig(policy="threshold")
+        assert isinstance(config.build_policy(), ThresholdPolicy)
+
+    def test_archive_age_must_cover_cold_age(self):
+        with pytest.raises(ValueError):
+            LifecycleConfig(cold_age=300.0, archive_age=200.0)
+
+    def test_cold_replication_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LifecycleConfig(cold_replication=0)
+
+    def test_build_table_threads_cold_replication(self):
+        config = LifecycleConfig(cold_replication=2)
+        assert config.build_table().cold.replication == 2
+
+    def test_master_rejects_plain_tier_config(self):
+        from repro.lifecycle import LifecycleMaster
+
+        with pytest.raises(TypeError):
+            LifecycleMaster(namenode=None, tier_config=TierConfig())

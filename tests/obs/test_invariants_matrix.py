@@ -15,7 +15,15 @@ from repro.obs.trace import tracing
 from repro.units import GB
 from repro.workloads.sort import sort_job
 
-SCHEMES = ("dyrs", "dyrs-tiered", "ignem", "naive", "instant", "ram")
+SCHEMES = (
+    "dyrs",
+    "dyrs-tiered",
+    "dyrs-lifecycle",
+    "ignem",
+    "naive",
+    "instant",
+    "ram",
+)
 
 
 def _single_sort(system):

@@ -95,3 +95,63 @@ class TestBookkeeping:
             "fresh": Temperature.HOT,
             "stale": Temperature.WARM,  # age 100 is between the thresholds
         }
+
+
+class TestEdgeCases:
+    def test_forget_then_reaccess_starts_a_fresh_history(self):
+        """A re-created block must not inherit the old interval EWMA:
+        after forget() the next access is a clean single-access state."""
+        tracker = make_tracker()
+        tracker.record_access("b", now=0.0)
+        tracker.record_access("b", now=500.0)  # long interval: idle data
+        assert tracker.classify("b", now=500.0) is Temperature.COLD
+        tracker.forget("b")
+        tracker.record_access("b", now=600.0)
+        assert tracker.ewma_interval("b") is None
+        assert tracker.access_count("b") == 1
+        # Recency is all we know again: the stale interval is gone.
+        assert tracker.score("b", now=601.0) == pytest.approx(1.0)
+        assert tracker.classify("b", now=601.0) is Temperature.HOT
+
+    def test_cold_start_queries_are_safe(self):
+        tracker = make_tracker()
+        assert tracker.access_rate("never") == 0.0
+        assert tracker.access_count("never") == 0
+        assert tracker.last_access("never") is None
+        assert tracker.ewma_interval("never") is None
+        assert tracker.tracked_blocks() == ()
+        assert math.isinf(tracker.score("never", now=1e9))
+
+    def test_single_access_has_no_rate_but_scores_by_age(self):
+        tracker = make_tracker()
+        tracker.record_access("b", now=10.0)
+        assert tracker.ewma_interval("b") is None
+        assert tracker.access_rate("b") == 0.0
+        assert tracker.score("b", now=10.0) == 0.0
+
+    def test_same_instant_accesses_do_not_blow_up_the_rate(self):
+        """Two reads in the same sim instant give a zero smoothed
+        interval; the rate must stay 0, not divide by zero."""
+        tracker = make_tracker()
+        tracker.record_access("b", now=5.0)
+        tracker.record_access("b", now=5.0)
+        assert tracker.ewma_interval("b") == 0.0
+        assert tracker.access_rate("b") == 0.0
+        assert tracker.classify("b", now=5.0) is Temperature.HOT
+
+    def test_out_of_order_access_clamps_the_interval(self):
+        tracker = make_tracker()
+        tracker.record_access("b", now=10.0)
+        tracker.record_access("b", now=8.0)  # clock went backwards
+        assert tracker.ewma_interval("b") == 0.0
+        assert tracker.score("b", now=10.0) == pytest.approx(2.0)
+
+    def test_boundary_scores_classify_downward(self):
+        """Thresholds are half-open: a score exactly at hot_age is
+        WARM, exactly at cold_age is COLD."""
+        tracker = make_tracker(hot_age=60.0, cold_age=300.0)
+        tracker.record_access("b", now=0.0)
+        assert tracker.classify("b", now=60.0 - 1e-9) is Temperature.HOT
+        assert tracker.classify("b", now=60.0) is Temperature.WARM
+        assert tracker.classify("b", now=300.0 - 1e-9) is Temperature.WARM
+        assert tracker.classify("b", now=300.0) is Temperature.COLD

@@ -78,11 +78,13 @@ class TestSsdDevice:
 
 class TestTierFacade:
     def test_ladder_order_and_promotion(self):
-        assert TIER_ORDER == ("disk", "ssd", "memory")
+        assert TIER_ORDER == ("archive", "disk", "ssd", "memory")
         assert is_promotion("disk", "ssd")
         assert is_promotion("ssd", "memory")
+        assert is_promotion("archive", "disk")
         assert not is_promotion("memory", "ssd")
         assert not is_promotion("ssd", "disk")
+        assert not is_promotion("disk", "archive")
 
     def test_node_tiers_with_ssd(self, sim):
         node = Node(sim, 0, NodeSpec().with_ssd())

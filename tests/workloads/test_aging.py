@@ -1,0 +1,90 @@
+"""Tests for the aging-workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.units import MB
+from repro.workloads.aging import (
+    AgingDatasetDescriptor,
+    generate_aging_workload,
+)
+
+
+def rng(seed=11):
+    return np.random.default_rng(seed)
+
+
+class TestDescriptorValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            AgingDatasetDescriptor("d", size=0, read_times=(1.0,))
+        with pytest.raises(ValueError):
+            AgingDatasetDescriptor("d", size=1 * MB, read_times=())
+        with pytest.raises(ValueError):
+            AgingDatasetDescriptor("d", size=1 * MB, read_times=(-1.0,))
+        with pytest.raises(ValueError):
+            AgingDatasetDescriptor("d", size=1 * MB, read_times=(5.0, 1.0))
+
+    def test_reheat_must_follow_the_hot_phase(self):
+        with pytest.raises(ValueError):
+            AgingDatasetDescriptor(
+                "d", size=1 * MB, read_times=(1.0, 9.0), reheat_time=5.0
+            )
+        d = AgingDatasetDescriptor(
+            "d", size=1 * MB, read_times=(1.0, 9.0), reheat_time=60.0
+        )
+        assert d.reheats
+        assert not AgingDatasetDescriptor(
+            "d", size=1 * MB, read_times=(1.0,)
+        ).reheats
+
+
+class TestGenerator:
+    def test_deterministic_in_the_stream(self):
+        assert generate_aging_workload(rng()) == generate_aging_workload(rng())
+
+    def test_different_seeds_differ(self):
+        assert generate_aging_workload(rng(1)) != generate_aging_workload(rng(2))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_aging_workload(rng(), n_datasets=0)
+        with pytest.raises(ValueError):
+            generate_aging_workload(rng(), hot_reads=0)
+        with pytest.raises(ValueError):
+            generate_aging_workload(rng(), reheat_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_aging_workload(rng(), cold_gap=0.0)
+
+    def test_shapes_respect_the_parameters(self):
+        datasets = generate_aging_workload(
+            rng(),
+            n_datasets=8,
+            dataset_size=512 * MB,
+            hot_reads=3,
+            hot_window=25.0,
+            cold_gap=50.0,
+            start_spread=10.0,
+        )
+        assert len(datasets) == 8
+        for d in datasets:
+            assert len(d.read_times) == 3
+            assert 0.75 * 512 * MB <= d.size <= 1.25 * 512 * MB
+            # Hot phase confined to start + window.
+            assert d.read_times[-1] <= 10.0 + 25.0
+            if d.reheats:
+                gap = d.reheat_time - d.read_times[-1]
+                assert 50.0 <= gap <= 60.0  # cold_gap .. 1.2 * cold_gap
+
+    def test_nonzero_fraction_always_reheats_at_least_one(self):
+        """Even when every coin flip says no, one dataset must re-heat,
+        or the workload never exercises the restore path."""
+        for seed in range(20):
+            datasets = generate_aging_workload(
+                rng(seed), n_datasets=3, reheat_fraction=0.05
+            )
+            assert any(d.reheats for d in datasets)
+
+    def test_zero_fraction_never_reheats(self):
+        datasets = generate_aging_workload(rng(), reheat_fraction=0.0)
+        assert not any(d.reheats for d in datasets)
