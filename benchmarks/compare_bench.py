@@ -29,11 +29,16 @@ import sys
 from pathlib import Path
 
 #: extra_info keys that gate, higher is better (runner-independent).
-GATED = ("churn_speedup", "swim_speedup", "archive_hit_ratio")
+GATED = ("churn_speedup", "swim_speedup", "archive_hit_ratio", "shard_p99_ratio")
 #: extra_info keys that gate, lower is better (latencies, overheads).
 GATED_LOWER = ("reheat_latency_s", "makespan_overhead_ratio")
 #: extra_info keys shown for context only (absolute; runner-dependent).
-INFORMATIONAL = ("churn_events_per_sec", "archived_blocks", "restored_blocks")
+INFORMATIONAL = (
+    "churn_events_per_sec",
+    "archived_blocks",
+    "restored_blocks",
+    "pull_index_speedup_1k",
+)
 
 
 def load_extra_info(path: Path) -> dict[str, dict[str, float]]:

@@ -15,7 +15,6 @@ deliberately *estimates from observed migration durations* instead
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -78,17 +77,6 @@ class Disk:
             min_efficiency=spec.min_efficiency,
             name=name,
         )
-
-    @property
-    def _resource(self):
-        """Deprecated alias for the underlying bandwidth kernel."""
-        warnings.warn(
-            "Disk._resource is deprecated; use Disk.channel (device verbs) "
-            "or Disk.channel.kernel (raw bandwidth kernel)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.channel.kernel
 
     # -- transfers -------------------------------------------------------
 

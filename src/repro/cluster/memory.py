@@ -20,7 +20,6 @@ footprint) can be reproduced.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
@@ -78,18 +77,6 @@ class MemoryStore:
         self.read_channel = Channel(
             sim, capacity=spec.read_bandwidth, seek_penalty=0.0, name=f"{name}.read"
         )
-
-    @property
-    def _read_resource(self):
-        """Deprecated alias for the read channel's bandwidth kernel."""
-        warnings.warn(
-            "MemoryStore._read_resource is deprecated; use "
-            "MemoryStore.read_channel (device verbs) or "
-            "MemoryStore.read_channel.kernel (raw bandwidth kernel)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.read_channel.kernel
 
     # -- budget ------------------------------------------------------------
 

@@ -21,7 +21,6 @@ In the unified device vocabulary (:mod:`repro.cluster.device`) an
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
@@ -95,17 +94,6 @@ class Ssd:
             min_efficiency=spec.min_efficiency,
             name=name,
         )
-
-    @property
-    def _resource(self):
-        """Deprecated alias for the underlying bandwidth kernel."""
-        warnings.warn(
-            "Ssd._resource is deprecated; use Ssd.channel (device verbs) "
-            "or Ssd.channel.kernel (raw bandwidth kernel)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.channel.kernel
 
     # -- budget ------------------------------------------------------------
 

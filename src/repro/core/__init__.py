@@ -39,7 +39,7 @@ from repro.core.policies import (
 from repro.core.master import DyrsConfig, DyrsMaster
 from repro.core.slave import DyrsSlave
 from repro.core.baselines import IgnemMaster, InstantMigrator, NaiveBalancerMaster
-from repro.core.base import MigrationMaster
+from repro.core.base import MigrationMaster, RecordLedger
 from repro.core.failures import FailureInjector
 from repro.core.standby import StandbyCoordinator
 
@@ -60,6 +60,7 @@ __all__ = [
     "MigrationTimeEstimator",
     "NaiveBalancerMaster",
     "PriorityPolicy",
+    "RecordLedger",
     "ReferenceTracker",
     "SlaveLoad",
     "SmallestJobFirstPolicy",

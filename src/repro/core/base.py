@@ -6,6 +6,18 @@ expansion, reference lists, eviction, the memory directory, missed-read
 discarding -- is common and lives here.  Keeping the base class honest
 makes the experimental comparisons apples-to-apples: a baseline cannot
 win or lose because of incidental bookkeeping differences.
+
+The class is split along the sharding seam the federated master needs:
+
+* :class:`RecordLedger` is the **record bookkeeping + binding** half --
+  the per-block record table, the append-only log, the discard /
+  re-migrate plumbing, and the subclass hooks a binding strategy
+  implements.  This is the state a :class:`~repro.shard.MasterShard`
+  partitions.
+* :class:`MigrationMaster` layers the **cluster-wide policy** on top --
+  reference tracking, eviction, the memory directory, the read path,
+  GC, and slave-failure handling.  This is the state the
+  :class:`~repro.shard.ShardCoordinator` keeps global.
 """
 
 from __future__ import annotations
@@ -23,21 +35,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.slave import DyrsSlave
     from repro.dfs.namenode import NameNode
 
-__all__ = ["MigrationMaster"]
+__all__ = ["MigrationMaster", "RecordLedger"]
 
 
-class MigrationMaster:
-    """Abstract base for migration coordinators.
+class RecordLedger:
+    """Record bookkeeping: the shardable half of a migration master.
 
-    Subclasses implement the binding strategy by overriding
-    :meth:`_on_new_records` (what happens when migrations arrive) and
-    :meth:`request_work` (what a pulling slave receives).
+    Owns the authoritative per-block record table and the append-only
+    record log, plus the create / discard / re-migrate plumbing every
+    binding strategy shares.  Subclasses implement the binding strategy
+    by overriding :meth:`_on_new_records` (what happens when migrations
+    arrive) and :meth:`request_work` (what a pulling slave receives).
     """
-
-    #: Whether a disk read of a block with an unstarted migration
-    #: cancels that migration (§IV-A1, "discarded due to missed
-    #: reads").  A DYRS-family feature; Ignem predates it.
-    discards_on_missed_read = True
 
     #: Whether the master process is up.  A crashed master (§III-C1)
     #: receives nothing: migration requests sent to it are lost and
@@ -48,12 +57,98 @@ class MigrationMaster:
     def __init__(self, namenode: "NameNode") -> None:
         self.namenode = namenode
         self.sim = namenode.sim
-        namenode.migration_master = self
-        self.slaves: dict[int, "DyrsSlave"] = {}
         #: Live record per block (the latest, possibly terminal).
         self._records: dict[BlockId, MigrationRecord] = {}
         #: Append-only log of every record ever created (metrics).
         self.record_log: list[MigrationRecord] = []
+
+    # -- record plumbing --------------------------------------------------------
+
+    def discard(self, record: MigrationRecord, reason: str) -> None:
+        """Cancel a not-yet-active migration."""
+        prior = record.status
+        record.mark_discarded(self.sim.now, reason)
+        obs.emit(
+            obs.DROPPED,
+            self.sim.now,
+            block=record.block_id,
+            reason=reason,
+            status=prior.value,
+        )
+        self._on_record_discarded(record)
+
+    def _new_record(self, block: Block) -> MigrationRecord:
+        """Record factory; the tiered master overrides this to route a
+        block already resident on a faster tier along the right edge."""
+        return MigrationRecord(block=block, requested_at=self.sim.now)
+
+    def _remigrate(self, block: Block) -> MigrationRecord:
+        """Create and enqueue a fresh PENDING record for ``block``."""
+        replacement = self._new_record(block)
+        self._records[block.block_id] = replacement
+        self.record_log.append(replacement)
+        obs.emit(obs.PENDING, self.sim.now, block=block.block_id)
+        self._on_new_records([replacement])
+        return replacement
+
+    # -- metrics -----------------------------------------------------------------
+
+    def record_of(self, block_id: BlockId) -> Optional[MigrationRecord]:
+        """The current record for ``block_id`` (None if never migrated)."""
+        return self._records.get(block_id)
+
+    def migrated_bytes(self) -> float:
+        """Total bytes successfully migrated so far."""
+        return sum(
+            r.block.size
+            for r in self.record_log
+            if r.status in (MigrationStatus.DONE, MigrationStatus.EVICTED)
+            and r.completed_at is not None
+        )
+
+    # -- subclass hooks --------------------------------------------------------------
+
+    def _on_new_records(self, records: list[MigrationRecord]) -> None:
+        """New migrations arrived; subclass decides what to do."""
+        raise NotImplementedError
+
+    def _on_record_discarded(self, record: MigrationRecord) -> None:
+        """A record left the pipeline early; subclass cleans queues."""
+        raise NotImplementedError
+
+    def request_work(self, node_id: int, max_blocks: int) -> list[MigrationRecord]:
+        """A slave pulls up to ``max_blocks`` migrations."""
+        raise NotImplementedError
+
+    def pull_service_seconds(self, node_id: int) -> float:
+        """Master-side service time for one pull RPC (modeling hook).
+
+        0 by default: the paper's master answers pulls instantly.  The
+        DYRS master scales this with its pending-map size when
+        ``pull_service_cost`` is configured, which is what the shard
+        sweep measures (a sharded master services a pull from one
+        shard-local map).
+        """
+        return 0.0
+
+
+class MigrationMaster(RecordLedger):
+    """Abstract base for migration coordinators.
+
+    Extends the :class:`RecordLedger` bookkeeping with the cluster-wide
+    policy every scheme shares: reference tracking, eviction, the
+    memory directory, the read path, GC, and failure handling.
+    """
+
+    #: Whether a disk read of a block with an unstarted migration
+    #: cancels that migration (§IV-A1, "discarded due to missed
+    #: reads").  A DYRS-family feature; Ignem predates it.
+    discards_on_missed_read = True
+
+    def __init__(self, namenode: "NameNode") -> None:
+        super().__init__(namenode)
+        namenode.migration_master = self
+        self.slaves: dict[int, "DyrsSlave"] = {}
         self.tracker = ReferenceTracker(
             on_block_unreferenced=self._on_unreferenced,
             clock=lambda: self.sim.now,
@@ -217,34 +312,7 @@ class MigrationMaster:
             obs.emit(obs.GC_SWEEP, self.sim.now, jobs_swept=len(swept))
         return swept
 
-    # -- record plumbing --------------------------------------------------------
-
-    def discard(self, record: MigrationRecord, reason: str) -> None:
-        """Cancel a not-yet-active migration."""
-        prior = record.status
-        record.mark_discarded(self.sim.now, reason)
-        obs.emit(
-            obs.DROPPED,
-            self.sim.now,
-            block=record.block_id,
-            reason=reason,
-            status=prior.value,
-        )
-        self._on_record_discarded(record)
-
-    def _new_record(self, block: Block) -> MigrationRecord:
-        """Record factory; the tiered master overrides this to route a
-        block already resident on a faster tier along the right edge."""
-        return MigrationRecord(block=block, requested_at=self.sim.now)
-
-    def _remigrate(self, block: Block) -> MigrationRecord:
-        """Create and enqueue a fresh PENDING record for ``block``."""
-        replacement = self._new_record(block)
-        self._records[block.block_id] = replacement
-        self.record_log.append(replacement)
-        obs.emit(obs.PENDING, self.sim.now, block=block.block_id)
-        self._on_new_records([replacement])
-        return replacement
+    # -- failure/requeue plumbing (needs the reference tracker) -------------------
 
     def requeue_undelivered(self, records: list[MigrationRecord]) -> int:
         """Return grants whose delivery to a slave failed (§III-C2).
@@ -308,32 +376,3 @@ class MigrationMaster:
                 slave.notify_memory_freed()
         record.mark_evicted()
         obs.emit(obs.EVICTED, self.sim.now, block=record.block_id, node=node_id)
-
-    # -- metrics -----------------------------------------------------------------
-
-    def record_of(self, block_id: BlockId) -> Optional[MigrationRecord]:
-        """The current record for ``block_id`` (None if never migrated)."""
-        return self._records.get(block_id)
-
-    def migrated_bytes(self) -> float:
-        """Total bytes successfully migrated so far."""
-        return sum(
-            r.block.size
-            for r in self.record_log
-            if r.status in (MigrationStatus.DONE, MigrationStatus.EVICTED)
-            and r.completed_at is not None
-        )
-
-    # -- subclass hooks --------------------------------------------------------------
-
-    def _on_new_records(self, records: list[MigrationRecord]) -> None:
-        """New migrations arrived; subclass decides what to do."""
-        raise NotImplementedError
-
-    def _on_record_discarded(self, record: MigrationRecord) -> None:
-        """A record left the pipeline early; subclass cleans queues."""
-        raise NotImplementedError
-
-    def request_work(self, node_id: int, max_blocks: int) -> list[MigrationRecord]:
-        """A slave pulls up to ``max_blocks`` migrations."""
-        raise NotImplementedError

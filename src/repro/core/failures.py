@@ -121,6 +121,49 @@ class FailureInjector:
 
             self.sim.call_at(when + recover_after, _recover)
 
+    def crash_shard_at(
+        self, when: float, node_id: int, recover_after: Optional[float] = None
+    ) -> None:
+        """Kill one master *shard* at ``when``; optionally stand up a
+        fresh incarnation ``recover_after`` seconds later.
+
+        The shard is resolved at fire time as ``node_id``'s home shard,
+        so sampled plans stay meaningful across shard counts and the
+        fault degrades to a no-op on a flat (unsharded) master.
+        """
+        if self.master is None:
+            raise RuntimeError("no migration master attached")
+
+        def _crash() -> None:
+            master = self.master
+            if not hasattr(master, "crash_shard") or not master.alive:
+                self._note("skip-shard-crash", f"node{node_id}")
+                return
+            shard_id = master.home_shard_of(node_id)
+            if not master.shard_is_alive(shard_id):
+                self._note("skip-shard-crash", f"shard{shard_id}")
+                return
+            master.crash_shard(shard_id)
+            self._note("shard-crash", f"shard{shard_id}")
+            if recover_after is not None:
+
+                def _recover() -> None:
+                    # The whole federation may have crashed and been
+                    # replaced in between; only revive what this fault
+                    # killed, on the master that still owns it.
+                    if self.master is not master or not master.alive:
+                        self._note("skip-shard-recover", f"shard{shard_id}")
+                        return
+                    if master.shard_is_alive(shard_id):
+                        self._note("skip-shard-recover", f"shard{shard_id}")
+                        return
+                    master.recover_shard(shard_id)
+                    self._note("shard-recover", f"shard{shard_id}")
+
+                self.sim.call_at(self.sim.now + recover_after, _recover)
+
+        self.sim.call_at(when, _crash)
+
     # -- whole server -----------------------------------------------------------
 
     def crash_node_at(
@@ -440,8 +483,12 @@ class ChaosCampaign:
         # order, keeping every pre-archive fault plan byte-identical.
         "degrade-fabric",
         "crash-tier-move",
+        # Shard faults -- appended for the same reason: masters without
+        # ``crash_shard`` filter it out and keep their legacy plans.
+        "shard-crash",
     )
     ARCHIVE_KINDS = ("degrade-fabric", "crash-tier-move")
+    SHARD_KINDS = ("shard-crash",)
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -459,6 +506,9 @@ class ChaosCampaign:
         if getattr(self.injector.cluster.fabric, "archive_link", None) is None:
             # Archive faults target hardware this cluster doesn't have.
             kinds = tuple(k for k in kinds if k not in self.ARCHIVE_KINDS)
+        if not hasattr(self.injector.master, "crash_shard"):
+            # Shard faults need a sharded master to aim at.
+            kinds = tuple(k for k in kinds if k not in self.SHARD_KINDS)
         self.kinds = kinds
 
     def sample(self) -> list[ChaosFault]:
@@ -514,6 +564,11 @@ class ChaosCampaign:
             elif kind == "crash-tier-move":
                 node_id = None  # target resolved at fire time
                 duration = float(rng.uniform(0.05, 0.15) * self.horizon)
+            elif kind == "shard-crash":
+                # node_id picks the home shard at fire time; shards
+                # always come back -- a permanently headless partition
+                # just measures routed-request loss, not recovery.
+                duration = float(rng.uniform(0.05, 0.15) * self.horizon)
             plan.append(
                 ChaosFault(
                     time=when, kind=kind, node_id=node_id,
@@ -554,6 +609,8 @@ class ChaosCampaign:
                 inj.degrade_fabric_at(fault.time, fault.param, fault.duration)
             elif fault.kind == "crash-tier-move":
                 inj.crash_tier_move_at(fault.time, fault.duration)
+            elif fault.kind == "shard-crash":
+                inj.crash_shard_at(fault.time, fault.node_id, fault.duration)
         return self.plan
 
 

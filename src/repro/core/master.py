@@ -17,10 +17,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import MigrationMaster
+from repro.core.pending import PendingPool, bind_from_pool
 from repro.core.policies import FifoPolicy, MigrationPolicy
 from repro.core.records import BindingEvent, MigrationRecord
 from repro.core.targeting import SlaveLoad, compute_targets
-from repro.dfs.block import BlockId
 from repro.dfs.namespace import DEFAULT_BLOCK_SIZE
 from repro.obs import trace as obs
 from repro.sim.process import Interrupt, Process
@@ -84,6 +84,13 @@ class DyrsConfig:
     rpc_backoff_base / rpc_backoff_factor:
         Delay before retry ``n`` (1-based) is
         ``base * factor ** (n - 1)`` -- classic exponential backoff.
+    pull_service_cost:
+        Master-side service time, per pending record, that one pull
+        RPC spends inside the master before it can answer (scanning /
+        locking the pending map).  0 (the default) reproduces the
+        paper's instant master and changes nothing; the shard sweep
+        sets it to expose how partitioning the pending map shrinks the
+        pull critical section.
     """
 
     ewma_alpha: float = 0.4
@@ -99,6 +106,7 @@ class DyrsConfig:
     rpc_max_retries: int = 0
     rpc_backoff_base: float = 0.1
     rpc_backoff_factor: float = 2.0
+    pull_service_cost: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0 < self.ewma_alpha <= 1:
@@ -140,6 +148,10 @@ class DyrsConfig:
             raise ValueError(
                 f"rpc_backoff_factor must be >= 1, got {self.rpc_backoff_factor}"
             )
+        if self.pull_service_cost < 0:
+            raise ValueError(
+                f"pull_service_cost must be >= 0, got {self.pull_service_cost}"
+            )
 
 
 class DyrsMaster(MigrationMaster):
@@ -154,8 +166,10 @@ class DyrsMaster(MigrationMaster):
         super().__init__(namenode)
         self.config = config or DyrsConfig()
         self.policy = policy or FifoPolicy()
-        #: Unbound migrations, keyed by block id (insertion ordered).
-        self._pending: dict[BlockId, MigrationRecord] = {}
+        #: Unbound migrations, keyed by block id (insertion ordered),
+        #: with a per-target index rebuilt on every retarget pass so a
+        #: pull RPC only orders records already targeted at the asker.
+        self._pending = PendingPool()
         #: Latest per-slave load from heartbeats.
         self._loads: dict[int, SlaveLoad] = {}
         #: When each slave last reported via heartbeat.  A slave whose
@@ -220,17 +234,31 @@ class DyrsMaster(MigrationMaster):
         memory directory is rebuilt lazily as slaves report/evict.
         """
         if obs.enabled():
-            obs.emit(obs.MASTER_CRASH, self.sim.now, pending_lost=len(self._pending))
+            obs.emit(obs.MASTER_CRASH, self.sim.now, pending_lost=self.pending_count)
+        self.shutdown(reason="master-crash")
+        self._loads.clear()
+        self.namenode.memory_directory.clear()
+
+    def shutdown(self, reason: str) -> None:
+        """Tear down the binding half: stop retargeting, refuse new
+        work, and drive every still-pending record to a terminal state.
+
+        Shared by :meth:`crash` (reason ``master-crash``) and standby
+        failover (reason ``failover``); lifecycle masters extend it to
+        also abort their in-flight tier moves, so *every* teardown path
+        -- not just crash -- leaves no record stranded.
+        """
         self.stop()
         self.alive = False
         # The records themselves must still reach a terminal state (the
         # chaos liveness invariant); "forgotten" means discarded, not
         # left PENDING in a dead process forever.
+        self._discard_all_pending(reason)
+
+    def _discard_all_pending(self, reason: str) -> None:
         for record in list(self._pending.values()):
-            self.discard(record, reason="master-crash")
+            self.discard(record, reason=reason)
         self._pending.clear()
-        self._loads.clear()
-        self.namenode.memory_directory.clear()
 
     def recover(self) -> None:
         """Restart after :meth:`crash`: re-learn slave state.
@@ -293,11 +321,16 @@ class DyrsMaster(MigrationMaster):
         """One Algorithm 1 pass over the pending list."""
         self.retarget_passes += 1
         ordered = self.policy.order(list(self._pending.values()))
-        return compute_targets(
+        targets = compute_targets(
             ordered,
             self._eligible_loads(),
             reference_block_size=self.config.reference_block_size,
         )
+        # Targets moved; rebuild the per-target pull index.  This is
+        # the only code path that changes ``target_node``, so the index
+        # is exact until the next pass.
+        self._pending.reindex()
+        return targets
 
     def reclaim_unavailable(self) -> int:
         """Requeue work bound to slaves the NameNode considers dead.
@@ -339,7 +372,7 @@ class DyrsMaster(MigrationMaster):
             while True:
                 yield self.sim.timeout(self.config.retarget_interval)
                 self.reclaim_unavailable()
-                if self._pending:
+                if self.pending_count:
                     self.retarget()
         except Interrupt:
             return
@@ -353,19 +386,34 @@ class DyrsMaster(MigrationMaster):
         Only blocks whose *current target* is the asking slave are
         handed out -- a slow slave whose targets all moved elsewhere
         gets nothing and stays idle, which is the straggler-avoidance
-        behaviour of §III-A2 / Fig 10.
+        behaviour of §III-A2 / Fig 10.  Selection runs over the
+        per-target index (O(granted), not O(pending)); policies that
+        are not subset-stable fall back to the legacy full scan inside
+        :func:`~repro.core.pending.bind_from_pool`.
         """
-        if max_blocks <= 0:
-            return []
-        granted: list[MigrationRecord] = []
-        for record in self.policy.order(list(self._pending.values())):
-            if len(granted) >= max_blocks:
-                break
-            if record.target_node != node_id:
-                continue
-            record.mark_bound(node_id, self.sim.now)
-            del self._pending[record.block_id]
-            granted.append(record)
+        granted = bind_from_pool(
+            self._pending, self.policy, node_id, max_blocks, self.sim.now
+        )
+        self._record_grant(node_id, granted)
+        return granted
+
+    def pull_service_seconds(self, node_id: int) -> float:
+        """Service time one pull spends inside this master: linear in
+        the pending map the pull must scan/lock (see
+        ``DyrsConfig.pull_service_cost``; 0 keeps the paper's instant
+        master)."""
+        cost = self.config.pull_service_cost
+        if not cost:
+            return 0.0
+        return cost * len(self._pending)
+
+    def _record_grant(self, node_id: int, granted: list[MigrationRecord]) -> None:
+        """Log bindings and fold the grant into our load view.
+
+        The accounting half of the pull protocol, shared with the
+        shard coordinator so a sharded grant is logged byte-identically
+        to a flat one.
+        """
         if granted:
             slave = self.slaves[node_id]
             # Depth grows one binding at a time: record i of this grant
@@ -396,4 +444,3 @@ class DyrsMaster(MigrationMaster):
                 seconds_per_byte=load.seconds_per_byte,
                 queued_blocks=load.queued_blocks + len(granted),
             )
-        return granted

@@ -9,6 +9,15 @@ bench.
 A policy is a pure ordering function over pending records; the master
 applies it before each targeting pass, so policies compose with (and
 never bypass) the bandwidth-aware binding machinery.
+
+Policies whose sort key is a pure function of the single record
+(``subset_stable = True``) commute with filtering: ordering a subset
+gives the same relative order as filtering an ordered whole.  The
+master's per-target pull index relies on this to serve a pull from
+one target bucket instead of re-sorting the entire pending map;
+policies whose key depends on the whole input set (smallest-job-first
+computes per-job remaining bytes over everything it is given) must
+leave it False and take the legacy full-scan path.
 """
 
 from __future__ import annotations
@@ -39,12 +48,16 @@ class MigrationPolicy(Protocol):
 class FifoPolicy:
     """The paper's policy: serve in request order."""
 
+    subset_stable = True
+
     def order(self, pending: Sequence[MigrationRecord]) -> list[MigrationRecord]:
         return sorted(pending, key=lambda r: (r.requested_at, r.block_id))
 
 
 class LifoPolicy:
     """Newest request first (a deliberately bad contrast case)."""
+
+    subset_stable = True
 
     def order(self, pending: Sequence[MigrationRecord]) -> list[MigrationRecord]:
         return sorted(pending, key=lambda r: (-r.requested_at, r.block_id))
@@ -57,6 +70,12 @@ class SmallestJobFirstPolicy:
     quickly and free memory early; ties fall back to FIFO.  Requires a
     ``job_of`` mapping from block id to job id.
     """
+
+    #: The key ranks a record by its *job's* total pending bytes, a
+    #: property of the whole input set -- ordering a per-target subset
+    #: can disagree with filtering the globally-ordered list, so the
+    #: pull index must not be used with this policy.
+    subset_stable = False
 
     def __init__(self, job_of: Callable[[int], str]) -> None:
         self.job_of = job_of
@@ -78,6 +97,8 @@ class SmallestJobFirstPolicy:
 
 class PriorityPolicy:
     """Explicit per-job priorities (lower serves first); FIFO within."""
+
+    subset_stable = True
 
     def __init__(self, priority_of: Callable[[int], int]) -> None:
         self.priority_of = priority_of

@@ -271,6 +271,17 @@ class DyrsSlave:
             payload["dyrs.ssd_queued_blocks"] = self.ssd_queued_blocks
         return payload
 
+    def shard_heartbeat_payload(self) -> dict:
+        """Shard-addressed heartbeat fields (sharded masters only).
+
+        The :class:`~repro.shard.ShardCoordinator` registers this as an
+        extra contributor under the ``dyrs.`` prefix, so the wire key is
+        ``dyrs.shard``: the home shard this node's pull rotation starts
+        from.  Flat masters never register it, which keeps their
+        heartbeat payloads byte-identical to the paper's.
+        """
+        return {"shard": self.master.home_shard_of(self.node_id)}
+
     # -- worker internals ---------------------------------------------------------------
 
     def _space_available(self) -> int:
@@ -364,6 +375,18 @@ class DyrsSlave:
                 yield sim.timeout(remaining)
             obs.emit(obs.RPC_TIMEOUT, sim.now, node=self.node_id, leg="response")
             return False
+        # Master-side service: the time the master spends scanning its
+        # pending state before it can answer (0 under the paper's
+        # configuration -- no yield, timing byte-identical).  A sharded
+        # master services the pull from one shard-local map, which is
+        # exactly what the shard sweep measures.
+        service = self.master.pull_service_seconds(self.node_id)
+        if service > 0:
+            yield sim.timeout(service)
+            if not self.alive or self._epoch != epoch:
+                # Crashed while the master was servicing the call;
+                # nothing was bound yet, so walking away is safe.
+                return True
         granted = self.master.request_work(self.node_id, space)
         inbound = self._rpc_leg_delay()
         if budget is not None and outbound + inbound > budget:

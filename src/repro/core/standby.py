@@ -21,7 +21,7 @@ and reads simply fall back to disk, the paper's stated worst case.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.master import DyrsConfig, DyrsMaster
 from repro.obs import trace as obs
@@ -34,13 +34,26 @@ __all__ = ["StandbyCoordinator"]
 
 
 class StandbyCoordinator:
-    """Manages a primary DYRS master and fails over to a standby."""
+    """Manages a primary migration master and fails over to a standby.
+
+    ``master_factory`` generalizes the coordinator beyond the flat
+    DYRS master: any :class:`DyrsMaster` subclass works -- the tiered
+    and lifecycle masters (whose teardown aborts in-flight tier
+    moves via ``shutdown``), and the sharded
+    :class:`~repro.shard.ShardCoordinator` (per-shard *internal*
+    failover is the coordinator's own ``crash_shard``/
+    ``recover_shard``; this class replaces the whole federation when
+    the coordinator process itself dies).
+    """
 
     def __init__(
         self,
         namenode: "NameNode",
         config: Optional[DyrsConfig] = None,
         failover_delay: float = 5.0,
+        master_factory: Optional[
+            Callable[["NameNode", DyrsConfig], DyrsMaster]
+        ] = None,
     ) -> None:
         if failover_delay < 0:
             raise ValueError(f"failover_delay must be >= 0, got {failover_delay}")
@@ -48,7 +61,8 @@ class StandbyCoordinator:
         self.sim = namenode.sim
         self.config = config or DyrsConfig()
         self.failover_delay = failover_delay
-        self.primary = DyrsMaster(namenode, self.config)
+        self.master_factory = master_factory or DyrsMaster
+        self.primary = self.master_factory(namenode, self.config)
         self.generation = 0
         #: (time, event) audit log.
         self.log: list[tuple[float, str]] = []
@@ -76,20 +90,19 @@ class StandbyCoordinator:
         use :meth:`fail_over_after`.
         """
         old = self.primary
-        old.stop()
-        old.alive = False
         # Pending records that never crossed to the new master must
         # still terminate (liveness): anything the dead primary was
-        # holding unbound is discarded, exactly like a crash would.
-        for record in list(old._pending.values()):
-            old.discard(record, reason="failover")
+        # holding unbound is discarded, exactly like a crash would --
+        # and subclass shutdown hooks run too (the lifecycle master
+        # aborts its in-flight tier moves here).
+        old.shutdown(reason="failover")
         # Stop the dead master from harvesting future heartbeats.
         observers = self.namenode._heartbeat_observers
         if old.on_heartbeat in observers:
             observers.remove(old.on_heartbeat)
 
         self.generation += 1
-        new = DyrsMaster(self.namenode, self.config)  # claims migration_master
+        new = self.master_factory(self.namenode, self.config)  # claims migration_master
         for slave in old.slaves.values():
             slave.master = new
             new.register_slave(slave)

@@ -13,7 +13,7 @@ is how the NameNode's miss-counting failure detector notices it.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.dfs.namenode import HeartbeatReport, NameNode
 from repro.sim.process import Interrupt, Process
@@ -37,9 +37,25 @@ class HeartbeatService:
         self._started = False
 
     def add_contributor(
-        self, node_id: int, contributor: Callable[[], dict]
+        self,
+        node_id: int,
+        contributor: Callable[[], dict],
+        prefix: Optional[str] = None,
     ) -> None:
-        """Merge ``contributor()`` into node ``node_id``'s payloads."""
+        """Merge ``contributor()`` into node ``node_id``'s payloads.
+
+        ``prefix`` namespaces the contributor's keys on the wire
+        (``prefix + key``) without the contributor knowing its mount
+        point -- how shard-addressed payloads ride an ordinary
+        heartbeat: the coordinator mounts each slave's shard fields
+        under ``dyrs.`` so observers see e.g. ``dyrs.shard``.
+        """
+        if prefix:
+            inner = contributor
+
+            def contributor() -> dict:
+                return {prefix + key: value for key, value in inner().items()}
+
         self._contributors[node_id].append(contributor)
 
     def start(self) -> None:

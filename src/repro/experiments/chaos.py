@@ -138,6 +138,9 @@ def run_case(
                 interference="none",
                 dyrs_overrides=dict(CHAOS_DYRS_OVERRIDES),
                 tier_overrides=tier_overrides,
+                # Sharded campaigns run a real federation so the
+                # shard-crash fault has partitions worth losing.
+                shards=4 if scheme == "dyrs-sharded" else 1,
             )
         )
         master = system.master
@@ -176,6 +179,7 @@ def run_case(
 
         checker = TraceInvariants(tracer.events)
         result.violations.extend(checker.violations())
+        result.violations.extend(checker.shard_violations())
         result.violations.extend(
             checker.liveness_violations(
                 final_memory_bytes=system.cluster.total_memory_used()

@@ -83,6 +83,12 @@ def _lifecycle():
     return lifecycle.run, lifecycle.report
 
 
+def _shard_sweep():
+    from repro.experiments import shard_sweep
+
+    return shard_sweep.run, shard_sweep.report
+
+
 def _ablations():
     from repro.experiments import ablations
 
@@ -115,6 +121,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "ablations": ("DESIGN.md §6 ablations", _ablations),
     "chaos": ("§III-C chaos soak (invariant-gated)", _chaos),
     "lifecycle": ("DESIGN.md §10 archive tier / aging workload", _lifecycle),
+    "shard-sweep": ("DESIGN.md §11 sharded master scaling", _shard_sweep),
 }
 
 

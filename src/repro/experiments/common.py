@@ -93,6 +93,10 @@ class PaperSetup:
     seek_penalty: float = 0.3
     dyrs_overrides: dict = field(default_factory=dict)
     tier_overrides: dict = field(default_factory=dict)
+    #: Master shard count (``dyrs-sharded`` only; 1 elsewhere).
+    shards: int = 1
+    #: Record -> shard routing for ``dyrs-sharded``.
+    shard_router: str = "block"
 
 
 def _tier_config(scheme: str, overrides: dict):
@@ -148,6 +152,8 @@ def build_system(setup: PaperSetup) -> System:
             ),
             block_size=setup.block_size,
             replication=setup.replication,
+            shards=setup.shards,
+            shard_router=setup.shard_router,
         )
     ).start()
     schedule = InterferenceSchedule(

@@ -157,14 +157,20 @@ class LifecycleMaster(TieredDyrsMaster):
             self._mover_proc.interrupt(cause="stop")
         self._mover_proc = None
 
-    def crash(self) -> None:
-        """Master failure: in-flight archive moves die with the process;
-        the archive directory, replication overrides, and checksum
-        registry are durable block-map state and survive."""
-        super().crash()
+    def shutdown(self, reason: str) -> None:
+        """Teardown (crash *or* failover): in-flight archive moves die
+        with the process; the archive directory, replication overrides,
+        and checksum registry are durable block-map state and survive.
+
+        Hooking :meth:`~repro.core.master.DyrsMaster.shutdown` (not
+        ``crash``) means standby failover also aborts the dead
+        primary's moves -- without this, a ``TIER_MOVE`` record would
+        stay non-terminal forever after a promotion.
+        """
+        super().shutdown(reason)
         for record in list(self._lifecycle_moves.values()):
             if not record.status.is_terminal:
-                self._abort_move(record, "master-crash")
+                self._abort_move(record, reason)
         self._move_queue.clear()
         self._reheat_started.clear()
 

@@ -8,6 +8,8 @@ grouped by the guarantee they protect:
   unordered-iteration);
 * :mod:`~repro.lint.rules.protocol` -- the §III migration-record
   lattice (SM201 status-assignment, SM202 transition-table-drift);
+* :mod:`~repro.lint.rules.shardstate` -- shard-private soft state
+  stays inside the shard package (SM203 shard-state-reach);
 * :mod:`~repro.lint.rules.observability` -- paper schemes stay
   byte-identical under instrumentation (OBS301 unguarded-trace);
 * :mod:`~repro.lint.rules.vtime` -- virtual-time hygiene (VT401
@@ -18,5 +20,6 @@ from repro.lint.rules import (  # noqa: F401  (import registers the rules)
     determinism,
     observability,
     protocol,
+    shardstate,
     vtime,
 )

@@ -1,0 +1,73 @@
+"""Shard-encapsulation rule: the federation owns its partitions.
+
+The sharded master (:mod:`repro.shard`) partitions pending-migration
+state across :class:`~repro.shard.shard.MasterShard` objects.  The
+whole point of the split is that a shard's ``_pending`` pool and any
+``_records`` view are *shard-local soft state*: they can be discarded
+wholesale on a shard crash and rebuilt from re-requests (§III-C), so
+nothing outside the shard package may hold or mutate them directly --
+an outside writer would survive the crash and resurrect state the
+protocol just declared dead.
+
+* **SM203 shard-state-reach** -- outside ``src/repro/shard/`` no
+  expression may read or write ``<shard-ish>._pending`` or
+  ``<shard-ish>._records``.  "Shard-ish" is syntactic: the base
+  expression mentions ``shard`` somewhere (a ``shard`` variable, a
+  ``coordinator._shards[...]`` subscript, a ``home_shard(...)`` call).
+  Plain ``self._pending`` in the flat master is untouched -- that is
+  the object's own state, not a reach across the federation boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+from repro.lint.runner import ModuleContext
+
+#: Attributes that are shard-private soft state.
+_PRIVATE_STATE = ("_pending", "_records")
+
+
+def _is_shardish(node: ast.expr) -> bool:
+    """Whether an expression syntactically refers to a shard."""
+    if isinstance(node, ast.Name):
+        return "shard" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "shard" in node.attr.lower() or _is_shardish(node.value)
+    if isinstance(node, ast.Subscript):
+        return _is_shardish(node.value)
+    if isinstance(node, ast.Call):
+        return _is_shardish(node.func)
+    return False
+
+
+@register
+class ShardStateReachRule(Rule):
+    id = "SM203"
+    name = "shard-state-reach"
+    description = "shard-private pending/record state stays in repro.shard"
+    hint = (
+        "go through the shard API (pending_count, admit, discard, "
+        "grant_pulls) or the coordinator's aggregate accessors; "
+        "shard._pending/_records are crash-discardable soft state"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        if "shard" in ctx.parts[:-1]:
+            return  # the shard package (and its test tree) itself
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _PRIVATE_STATE
+                and _is_shardish(node.value)
+            ):
+                yield self.diagnostic(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"reach into shard-private state `.{node.attr}` from "
+                    "outside repro.shard breaks crash-discard semantics",
+                )

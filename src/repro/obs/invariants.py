@@ -257,6 +257,98 @@ class TraceInvariants:
                     )
         return found
 
+    def shard_violations(self) -> list[str]:
+        """Sharded-master invariants (no-op on unsharded traces).
+
+        The ``shard_assign``/``shard_crash``/``shard_recover``
+        vocabulary self-certifies the partitioning contract:
+
+        11. **Single ownership** -- every ``shard_assign`` names an
+            outstanding pending record, and a record admitted to one
+            shard is not re-assigned until a ``bind`` or ``dropped``
+            closes the first assignment.  Named shard ids must be in
+            ``range(n_shards)``.
+        12. **Fixed shard count** -- every SHARD_* event carries
+            ``n_shards``; a segment where two events disagree convicts
+            a mid-run reshard (which would silently re-home records).
+        13. **Monotone incarnations** -- each ``shard_recover`` bumps
+            that shard's generation by exactly one.
+        """
+        found: list[str] = []
+        pending: dict[str, int] = defaultdict(int)
+        assigned: dict[str, int] = {}  # block -> owning shard
+        n_shards: Optional[int] = None
+        generations: dict[int, int] = {}
+        segment = 0
+
+        def reset() -> None:
+            nonlocal n_shards
+            pending.clear()
+            assigned.clear()
+            generations.clear()
+            n_shards = None
+
+        for i, event in enumerate(self.events):
+            etype, f = event.type, event.fields
+            where = f"event #{i} t={event.time}"
+            if etype == T.RUN_START:
+                reset()
+                segment += 1
+                continue
+            if etype == T.PENDING:
+                pending[f["block"]] += 1
+                continue
+            if etype in (T.BIND, T.DROPPED):
+                assigned.pop(f["block"], None)
+                closes_pending = (
+                    etype == T.BIND or f.get("status") == "pending"
+                )
+                if closes_pending and pending[f["block"]] > 0:
+                    pending[f["block"]] -= 1
+                continue
+            if etype not in (T.SHARD_ASSIGN, T.SHARD_CRASH, T.SHARD_RECOVER):
+                continue
+
+            count = f.get("n_shards")
+            if n_shards is None:
+                n_shards = count
+            elif count != n_shards:
+                found.append(
+                    f"{where}: segment {segment} shard count changed "
+                    f"{n_shards} -> {count} (resharding mid-run "
+                    "re-homes records)"
+                )
+            shard = f.get("shard")
+            if count is not None and not 0 <= shard < count:
+                found.append(
+                    f"{where}: shard id {shard} outside "
+                    f"range({count})"
+                )
+            if etype == T.SHARD_ASSIGN:
+                block = f["block"]
+                if block in assigned:
+                    found.append(
+                        f"{where}: block {block} assigned to shard "
+                        f"{shard} while shard {assigned[block]} still "
+                        "owns it (single ownership violated)"
+                    )
+                elif pending[block] <= 0:
+                    found.append(
+                        f"{where}: shard_assign of {block} with no "
+                        "outstanding pending record"
+                    )
+                assigned[block] = shard
+            elif etype == T.SHARD_RECOVER:
+                generation = f.get("generation")
+                prior = generations.get(shard, 0)
+                if generation != prior + 1:
+                    found.append(
+                        f"{where}: shard {shard} recovered at "
+                        f"generation {generation}, expected {prior + 1}"
+                    )
+                generations[shard] = generation
+        return found
+
     def liveness_violations(
         self, final_memory_bytes: Optional[float] = None
     ) -> list[str]:
@@ -340,8 +432,13 @@ class TraceInvariants:
 
     def check_all(self) -> None:
         """Raise :class:`InvariantViolation` listing every violation
-        (protocol checks 1-4/7 plus the lifecycle checks 8-10)."""
-        found = self.violations() + self.lifecycle_violations()
+        (protocol checks 1-4/7, lifecycle checks 8-10, and shard
+        checks 11-13)."""
+        found = (
+            self.violations()
+            + self.lifecycle_violations()
+            + self.shard_violations()
+        )
         if found:
             raise InvariantViolation(
                 f"{len(found)} trace invariant violation(s):\n"

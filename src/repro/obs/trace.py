@@ -114,6 +114,18 @@ TIER_MOVE_ABORT = "tier_move_abort"
 #: chosen scheme requires but the cluster spec omitted (e.g. the SSD
 #: for ``dyrs-tiered``, SSD + archive for ``dyrs-lifecycle``).
 CONFIG_DEFAULTED = "config_defaulted"
+#: Sharded-master vocabulary (:mod:`repro.shard`).  ``SHARD_ASSIGN``
+#: records a fresh pending record being routed to its owning shard
+#: (``block``, ``shard``, ``n_shards``); ``SHARD_CRASH`` /
+#: ``SHARD_RECOVER`` bracket a single shard's outage (``shard``,
+#: ``n_shards``, plus ``pending_lost`` on crash and ``generation`` on
+#: recover).  Every event carries ``n_shards`` so the invariant
+#: checker can prove the shard count never changes mid-run and that
+#: each record is owned by exactly one shard (see
+#: ``TraceInvariants.shard_violations``).
+SHARD_ASSIGN = "shard_assign"
+SHARD_CRASH = "shard_crash"
+SHARD_RECOVER = "shard_recover"
 
 
 @dataclass(frozen=True)

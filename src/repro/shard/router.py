@@ -1,0 +1,63 @@
+"""Deterministic record -> shard routing.
+
+The router is a pure function of the block (and, in rack mode, of the
+static cluster topology): no RNG, no load feedback, no state.  That
+determinism is what makes the sharded master replayable and lets the
+coordinator recompute a record's owner at any time -- ownership never
+has to be stored per record, so it can never go stale.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import Cluster
+    from repro.dfs.block import Block
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Assigns every block to exactly one of ``n_shards`` shards.
+
+    Modes
+    -----
+    ``block`` (default)
+        ``block_id % n_shards``.  Block ids are dense NameNode
+        sequence numbers, so this stripes uniformly and keeps one
+        file's blocks spread across shards (no shard sees a whole
+        job's burst alone).
+    ``rack``
+        Shard by the rack of the block's primary replica (lowest
+        replica node id), striped over shards.  Rack-affinity keeps a
+        rack's migration decisions on one shard, so a shard's pending
+        map co-locates with the uplink it contends for; on the paper's
+        single-rack testbed it degenerates to shard 0, so it requires
+        ``n_racks > 1`` to be meaningful (but is still valid).
+    """
+
+    MODES = ("block", "rack")
+
+    def __init__(
+        self,
+        n_shards: int,
+        mode: str = "block",
+        cluster: Optional["Cluster"] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if mode not in self.MODES:
+            raise ValueError(f"router mode must be one of {self.MODES}, got {mode!r}")
+        if mode == "rack" and cluster is None:
+            raise ValueError("rack-affinity routing requires a cluster")
+        self.n_shards = n_shards
+        self.mode = mode
+        self.cluster = cluster
+
+    def shard_of(self, block: "Block") -> int:
+        """The owning shard of ``block`` -- total, deterministic."""
+        if self.mode == "rack":
+            primary = min(block.replica_nodes)
+            return self.cluster.rack_of(primary) % self.n_shards
+        return block.block_id % self.n_shards

@@ -20,7 +20,7 @@ Two more schemes support specific figures:
 ``"instant"``
     The zero-cost hypothetical migrator (Fig 7b).
 
-Two schemes are extensions beyond the paper:
+Three schemes are extensions beyond the paper:
 
 ``"dyrs-tiered"``
     DYRS plus the SSD tier of :mod:`repro.tiers` -- block-temperature
@@ -29,6 +29,11 @@ Two schemes are extensions beyond the paper:
     The tiered scheme plus :mod:`repro.lifecycle` -- an archive tier,
     the HOT/WARM/COLD policy table, integrity-checked archive moves,
     and temperature-driven replication.
+``"dyrs-sharded"``
+    DYRS with the federated master of :mod:`repro.shard`: pending
+    state partitioned across ``SystemConfig.shards`` master shards
+    behind a coordinator.  At ``shards=1`` (the default) it is
+    byte-identical to ``"dyrs"``.
 
 Each scheme is one :class:`SchemeSpec` entry in :data:`SCHEME_REGISTRY`
 -- the master factory plus the wiring flags that used to live in
@@ -114,6 +119,18 @@ def _build_lifecycle(system: "System"):
     )
 
 
+def _build_sharded(system: "System"):
+    from repro.shard import ShardCoordinator
+
+    return ShardCoordinator(
+        system.namenode,
+        system.config.dyrs,
+        n_shards=system.config.shards,
+        router_mode=system.config.shard_router,
+        cluster=system.cluster,
+    )
+
+
 def _build_ignem(system: "System"):
     return IgnemMaster(system.namenode, system.cluster.rngs.stream("ignem"))
 
@@ -162,6 +179,7 @@ SCHEME_REGISTRY: dict[str, SchemeSpec] = {
             build_master=_build_lifecycle,
             default_devices=("ssd", "archive"),
         ),
+        SchemeSpec("dyrs-sharded", build_master=_build_sharded),
     )
 }
 
@@ -182,10 +200,28 @@ class SystemConfig:
     #: Delay-scheduling locality wait for the task scheduler (seconds;
     #: 0 = strict capacity scheduler, the calibrated default).
     locality_delay: float = 0.0
+    #: Master shard count for ``dyrs-sharded`` (ignored means invalid:
+    #: any other scheme must leave it at 1).  The count is fixed for
+    #: the life of the run.
+    shards: int = 1
+    #: Record -> shard routing mode for ``dyrs-sharded``: ``"block"``
+    #: (hash-by-block) or ``"rack"`` (rack-affine).
+    shard_router: str = "block"
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {self.scheme!r}; choose from {SCHEMES}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shards != 1 and self.scheme != "dyrs-sharded":
+            raise ValueError(
+                f"shards={self.shards} requires scheme 'dyrs-sharded', "
+                f"got {self.scheme!r}"
+            )
+        if self.shard_router not in ("block", "rack"):
+            raise ValueError(
+                f"shard_router must be 'block' or 'rack', got {self.shard_router!r}"
+            )
         if self.replication < 1:
             raise ValueError(f"replication must be >= 1, got {self.replication}")
         if self.block_size <= 0:

@@ -3,7 +3,8 @@
 Verifies that `Disk`/`Ssd`/`MemoryStore`/`Nic` are faithful
 configurations of the two primitives, that the historical exception
 types still work (now under the common `StoreFull` base), and that the
-deprecated `_resource`/`_read_resource` aliases warn but keep working.
+PR-2 deprecated `_resource`/`_read_resource` aliases are gone for good
+(callers go through `channel` / `read_channel`).
 """
 
 import pytest
@@ -165,25 +166,24 @@ class TestThinDevices:
             mem.pin("blk", 200.0)
 
 
-class TestDeprecationShims:
-    def test_disk_resource_alias_warns_and_works(self):
+class TestDeprecatedAliasesRemoved:
+    def test_resource_aliases_are_gone(self):
+        # The PR-2 `_resource`/`_read_resource` deprecation shims were
+        # removed after two releases; the public spelling is `channel`
+        # (and `read_channel` for memory).
+        sim = Simulator()
+        assert not hasattr(Disk(sim, DiskSpec()), "_resource")
+        assert not hasattr(Ssd(sim, SsdSpec()), "_resource")
+        assert not hasattr(MemoryStore(sim, MemorySpec()), "_read_resource")
+
+    def test_channel_spelling_is_the_public_path(self):
         sim = Simulator()
         disk = Disk(sim, DiskSpec())
-        with pytest.warns(DeprecationWarning):
-            resource = disk._resource
-        assert resource is disk.channel.kernel
-
-    def test_ssd_resource_alias_warns_and_works(self):
-        sim = Simulator()
         ssd = Ssd(sim, SsdSpec())
-        with pytest.warns(DeprecationWarning):
-            assert ssd._resource is ssd.channel.kernel
-
-    def test_memory_read_resource_alias_warns_and_works(self):
-        sim = Simulator()
         mem = MemoryStore(sim, MemorySpec())
-        with pytest.warns(DeprecationWarning):
-            assert mem._read_resource is mem.read_channel.kernel
+        assert disk.channel.kernel is not None
+        assert ssd.channel.kernel is not None
+        assert mem.read_channel.kernel is not None
 
     def test_public_constructors_and_signatures_unchanged(self):
         # The estimator/targeting call sites rely on these exact

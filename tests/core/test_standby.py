@@ -100,6 +100,89 @@ class TestFailover:
         cluster.sim.run(until=8)
         assert coordinator.primary is not old
 
+    def test_lifecycle_failover_strands_no_tier_move(self):
+        """Promoting a standby over a LifecycleMaster mid-demotion must
+        abort the dead primary's in-flight TIER_MOVE records: shutdown
+        (shared with crash) runs the abort hook, so nothing stays
+        non-terminal forever."""
+        from repro.cluster import Cluster, ClusterSpec, NodeSpec
+        from repro.cluster.archive import ArchiveSpec
+        from repro.lifecycle import LifecycleConfig, LifecycleMaster
+
+        # A slow archive link (4 MB/s -> a 64 MB demotion takes ~16 s)
+        # guarantees the failover below lands mid-move.
+        cluster = Cluster(
+            ClusterSpec(
+                n_workers=4,
+                seed=3,
+                node=NodeSpec().with_ssd().with_archive(
+                    ArchiveSpec(bandwidth=4 * MB)
+                ),
+            )
+        )
+        namenode = NameNode(
+            cluster,
+            RandomPlacement(4, cluster.rngs.stream("placement")),
+            block_size=64 * MB,
+        )
+        client = DFSClient(namenode)
+        config = DyrsConfig(reference_block_size=64 * MB)
+        lifecycle_config = LifecycleConfig(
+            lifecycle_interval=5.0, hot_age=10.0, cold_age=25.0, archive_age=45.0
+        )
+        coordinator = StandbyCoordinator(
+            namenode,
+            config,
+            master_factory=lambda nn, cfg: LifecycleMaster(
+                nn, cfg, tier_config=lifecycle_config
+            ),
+        )
+        slaves = [
+            DyrsSlave(namenode.datanodes[n.node_id], coordinator.primary, config)
+            for n in cluster.nodes
+        ]
+        heartbeats = HeartbeatService(namenode)
+        coordinator.attach_heartbeats(heartbeats)
+        heartbeats.start()
+        coordinator.start()
+        for s in slaves:
+            s.start()
+
+        old = coordinator.primary
+        assert isinstance(old, LifecycleMaster)
+        # A block that cools past archive_age gets a demote move; fail
+        # over the moment one is in flight (non-terminal).
+        entry = client.create_file("a", 64 * MB)
+        ev, _ = client.read_block(
+            entry.blocks[0], reader_node=None, job_id="warmup"
+        )
+        cluster.sim.run_until_processed(ev)
+        deadline = cluster.sim.now + 240.0
+        while cluster.sim.now < deadline:
+            cluster.sim.run(until=cluster.sim.now + 1.0)
+            if any(
+                not r.status.is_terminal
+                for r in old._lifecycle_moves.values()
+            ):
+                break
+        else:
+            raise AssertionError("no tier move ever started")
+
+        coordinator.fail_primary()
+        new = coordinator.fail_over()
+        assert isinstance(new, LifecycleMaster)
+        # The satellite's contract: nothing the dead primary was moving
+        # between tiers is stranded mid-flight.
+        for record in old.lifecycle_record_log:
+            assert record.status.is_terminal, (
+                f"TIER_MOVE record {record.block_id} stranded "
+                f"{record.status.value} across failover"
+            )
+        for record in old.record_log:
+            assert record.status.is_terminal
+        # And the promoted master runs its own lifecycle from scratch.
+        cluster.sim.run(until=cluster.sim.now + 30)
+
     def test_migrations_during_outage_are_lost_but_harmless(self, rig):
         """The §III-C1 worst case: requests in the gap produce no
         migration; reads fall back to disk without error."""

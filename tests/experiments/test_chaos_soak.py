@@ -22,6 +22,11 @@ PAIRS = [
     # full demote/restore arc those faults interrupt.
     ("dyrs-lifecycle", "swim"),
     ("dyrs-lifecycle", "aging"),
+    # The sharded federation runs at shards=4 (see chaos.run_case) so
+    # the shard-crash fault kind has partitions to lose and the
+    # per-shard failover path gets soaked alongside everything else.
+    ("dyrs-sharded", "sort"),
+    ("dyrs-sharded", "swim"),
 ]
 
 

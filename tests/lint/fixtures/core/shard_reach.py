@@ -1,0 +1,23 @@
+"""Fixture: reaching into shard-private soft state (SM203)."""
+
+
+def bad_direct_read(shard):
+    return len(shard._pending)  # line 5: violation
+
+
+def bad_federation_write(coordinator, block_id, record):
+    coordinator._shards[0]._pending[block_id] = record  # line 9: violation
+
+
+def bad_call_result(master, node_id):
+    return master.home_shard(node_id)._records  # line 13: violation
+
+
+def legal_own_state(self):
+    # Plain self-access is the flat master's own state, not a reach
+    # across the federation boundary.
+    return len(self._pending)
+
+
+def legal_api_use(shard, coordinator):
+    return shard.pending_count + coordinator.pending_count

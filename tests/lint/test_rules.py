@@ -56,6 +56,24 @@ def test_sm202_is_silent_on_the_real_records_module():
     assert report.diagnostics == []
 
 
+def test_sm203_shard_state_reach_fires_only_on_shardish_bases():
+    diags = findings("core/shard_reach.py", "SM203")
+    assert lines_of(diags) == [5, 9, 13]
+    assert all(d.rule_name == "shard-state-reach" for d in diags)
+    # self._pending and the public accessors stay legal.
+    assert not any(d.line > 13 for d in diags)
+
+
+def test_sm203_is_silent_inside_the_shard_package(tmp_path):
+    # The same access from a module under a `shard/` directory is the
+    # package touching its own state.
+    out = tmp_path / "shard" / "coordinator.py"
+    out.parent.mkdir()
+    out.write_text("def peek(shard):\n    return shard._pending\n")
+    report = lint_paths([out], select=["SM203"])
+    assert report.diagnostics == []
+
+
 def test_obs301_unguarded_trace_fires_only_without_a_dominating_guard():
     diags = findings("core/unguarded_trace.py", "OBS301")
     # the bare emit and the else-branch emit; the guarded and

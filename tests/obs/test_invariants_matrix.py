@@ -19,6 +19,7 @@ SCHEMES = (
     "dyrs",
     "dyrs-tiered",
     "dyrs-lifecycle",
+    "dyrs-sharded",  # 4-way partitioned master; also the shard checks
     "ignem",
     "naive",
     "instant",
@@ -55,12 +56,16 @@ WORKLOADS = {
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_trace_invariants_hold(scheme, workload):
     interference, drive = WORKLOADS[workload]
+    shards = 4 if scheme == "dyrs-sharded" else 1
     with tracing() as tracer:
         system = build_system(
-            PaperSetup(scheme=scheme, seed=11, interference=interference)
+            PaperSetup(
+                scheme=scheme, seed=11, interference=interference, shards=shards
+            )
         )
         drive(system)
-    violations = TraceInvariants(tracer.events).violations()
+    checker = TraceInvariants(tracer.events)
+    violations = checker.violations() + checker.shard_violations()
     assert violations == [], "\n".join(violations)
     # The run must actually exercise the trace (hdfs aside, every
     # scheme migrates or preloads; all of them read).

@@ -1,0 +1,91 @@
+"""Tests for the ShardCoordinator: routing, fan-out, aggregation."""
+
+import pytest
+
+from repro.system import System, SystemConfig
+from repro.units import MB
+
+
+class TestRouting:
+    def test_records_partition_by_block_id(self, shard_rig):
+        rig = shard_rig
+        entry = rig.client.create_file("a", 8 * 64 * MB)
+        rig.master.migrate(["a"], job_id="j1")
+        by_shard = {s: 0 for s in range(4)}
+        for block in entry.blocks:
+            by_shard[block.block_id % 4] += 1
+        for shard_id, expected in by_shard.items():
+            assert rig.master.shard_pending_count(shard_id) == expected
+
+    def test_pending_count_aggregates_shards(self, shard_rig):
+        rig = shard_rig
+        rig.client.create_file("a", 6 * 64 * MB)
+        rig.master.migrate(["a"], job_id="j1")
+        total = sum(rig.master.shard_pending_count(s) for s in range(4))
+        assert rig.master.pending_count == total == 6
+
+    def test_home_shard_is_node_modulo_shards(self, shard_rig):
+        assert [shard_rig.master.home_shard_of(n) for n in range(6)] == [
+            0, 1, 2, 3, 0, 1,
+        ]
+
+    def test_shard_of_block_is_router_verdict(self, shard_rig):
+        rig = shard_rig
+        entry = rig.client.create_file("a", 3 * 64 * MB)
+        for block in entry.blocks:
+            assert rig.master.shard_of_block(block) == block.block_id % 4
+
+
+class TestPullProtocol:
+    def test_zero_budget_grants_nothing(self, shard_rig):
+        rig = shard_rig
+        rig.client.create_file("a", 4 * 64 * MB)
+        rig.master.migrate(["a"], job_id="j1")
+        assert rig.master.request_work(0, 0) == []
+
+    def test_full_run_migrates_every_block(self, shard_rig):
+        rig = shard_rig
+        entry = rig.client.create_file("a", 8 * 64 * MB)
+        rig.master.migrate(["a"], job_id="j1")
+        rig.sim.run(until=90)
+        for block in entry.blocks:
+            assert block.block_id in rig.namenode.memory_directory
+        assert rig.master.pending_count == 0
+
+    def test_grants_come_from_multiple_shards(self, shard_rig):
+        """One pull budget is fanned across shards, so a node whose
+        home shard runs dry still drains the others."""
+        rig = shard_rig
+        rig.client.create_file("a", 8 * 64 * MB)
+        rig.master.migrate(["a"], job_id="j1")
+        rig.sim.run(until=90)
+        shards_seen = {
+            event.block_id % 4 for event in rig.master.binding_log
+        }
+        assert len(shards_seen) > 1
+
+    def test_shard_heartbeat_payload_harvested(self, shard_rig):
+        rig = shard_rig
+        rig.sim.run(until=15)
+        assert rig.master._shard_reports
+        assert set(rig.master._shard_reports) <= set(range(4))
+
+
+class TestSystemWiring:
+    def test_sharded_scheme_builds_and_runs(self):
+        system = System(
+            SystemConfig(scheme="dyrs-sharded", shards=2)
+        ).start()
+        assert system.master.n_shards == 2
+
+    def test_shards_require_the_sharded_scheme(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scheme="dyrs", shards=2)
+
+    def test_shard_count_validated(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scheme="dyrs-sharded", shards=0)
+
+    def test_router_mode_validated(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scheme="dyrs-sharded", shard_router="load")

@@ -1,0 +1,66 @@
+"""Tests for the deterministic record -> shard router."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.dfs.block import Block
+from repro.shard import ShardRouter
+from repro.units import MB
+
+
+def block(block_id, replicas=(0, 1, 2)):
+    return Block(
+        block_id=block_id, file="f", index=0, size=64 * MB,
+        replica_nodes=tuple(replicas),
+    )
+
+
+class TestValidation:
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, mode="load")
+
+    def test_rack_mode_requires_cluster(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, mode="rack")
+
+
+class TestBlockMode:
+    def test_stripes_by_block_id(self):
+        router = ShardRouter(4)
+        assert [router.shard_of(block(i)) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_total_and_deterministic(self):
+        router = ShardRouter(3)
+        first = [router.shard_of(block(i)) for i in range(100)]
+        second = [router.shard_of(block(i)) for i in range(100)]
+        assert first == second
+        assert all(0 <= shard < 3 for shard in first)
+        # Dense ids spread evenly: no shard starves.
+        assert {first.count(s) for s in range(3)} == {33, 34}
+
+    def test_one_shard_owns_everything(self):
+        router = ShardRouter(1)
+        assert {router.shard_of(block(i)) for i in range(50)} == {0}
+
+
+class TestRackMode:
+    def test_routes_by_primary_replica_rack(self):
+        cluster = Cluster(ClusterSpec(n_workers=4, n_racks=2, seed=1))
+        router = ShardRouter(2, mode="rack", cluster=cluster)
+        # Primary replica = lowest node id; racks stripe node % n_racks.
+        assert router.shard_of(block(9, replicas=(0, 1))) == 0
+        assert router.shard_of(block(9, replicas=(1, 2))) == 1
+        assert router.shard_of(block(9, replicas=(3, 2))) == 0
+
+    def test_rack_count_wraps_over_shards(self):
+        cluster = Cluster(ClusterSpec(n_workers=4, n_racks=4, seed=1))
+        router = ShardRouter(2, mode="rack", cluster=cluster)
+        assert router.shard_of(block(1, replicas=(2,))) == 0
+        assert router.shard_of(block(1, replicas=(3,))) == 1
