@@ -1,0 +1,80 @@
+"""Scratch: profile a scaled-up SWIM run."""
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.experiments.common import PaperSetup, build_system
+from repro.units import GB
+from repro.workloads.swim import generate_swim_workload, materialize_swim_jobs
+
+n_workers = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+total_gb = float(sys.argv[3]) if len(sys.argv) > 3 else 170 * (n_workers / 7)
+block_mb = float(sys.argv[4]) if len(sys.argv) > 4 else 256
+profile = len(sys.argv) > 5 and sys.argv[5] == "profile"
+idle_pull = sys.argv[6] if len(sys.argv) > 6 else "poll"
+interarrival = float(sys.argv[7]) if len(sys.argv) > 7 else 6.0
+
+setup = PaperSetup(
+    scheme="dyrs",
+    seed=0,
+    interference="none",
+    n_workers=n_workers,
+    block_size=block_mb * 1024 * 1024,
+    dyrs_overrides={"idle_pull": idle_pull},
+)
+t0 = time.perf_counter()
+system = build_system(setup)
+system.runtime.scheduler.sample_stride = 0
+t1 = time.perf_counter()
+print(f"build: {t1-t0:.2f}s", flush=True)
+descriptors = generate_swim_workload(
+    system.cluster.rngs.stream("swim"),
+    n_jobs=n_jobs,
+    total_input=total_gb * GB,
+    max_input=min(24 * GB, total_gb * GB / 4),
+    mean_interarrival=interarrival,
+)
+jobs = materialize_swim_jobs(system, descriptors)
+n_blocks = sum(len(system.client.blocks_of([f"{d.job_id}/input"])) for d in descriptors)
+import gc
+import os
+if os.environ.get("FREEZE") == "1":
+    gc.collect()
+    gc.freeze()
+t2 = time.perf_counter()
+print(f"materialize: {t2-t1:.2f}s, blocks={n_blocks}, tasks~={sum(j.total_map_tasks for j in jobs)}", flush=True)
+
+
+import threading
+
+def report():
+    while not done_flag[0]:
+        time.sleep(30)
+        sched = system.runtime.scheduler
+        print(
+            f"  t+{time.perf_counter()-t2:.0f}s sim={system.sim.now:.0f} "
+            f"steps={system.sim.steps} pending={system.master.pending_count} "
+            f"queue={sched.queued_requests} free={sched.total_free_slots}",
+            flush=True,
+        )
+
+done_flag = [False]
+threading.Thread(target=report, daemon=True).start()
+
+
+def run():
+    system.runtime.run_to_completion(jobs)
+    done_flag[0] = True
+
+
+if profile:
+    cProfile.run("run()", "/root/repo/.scratch/swim.prof")
+    stats = pstats.Stats("/root/repo/.scratch/swim.prof")
+    stats.sort_stats("cumulative").print_stats(30)
+    stats.sort_stats("tottime").print_stats(30)
+else:
+    run()
+t3 = time.perf_counter()
+print(f"run: {t3-t2:.2f}s  sim_now={system.sim.now:.0f}s  steps={system.sim.steps}", flush=True)

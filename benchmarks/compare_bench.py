@@ -29,15 +29,29 @@ import sys
 from pathlib import Path
 
 #: extra_info keys that gate, higher is better (runner-independent).
-GATED = ("churn_speedup", "swim_speedup", "archive_hit_ratio", "shard_p99_ratio")
+GATED = (
+    "churn_speedup",
+    "swim_speedup",
+    "archive_hit_ratio",
+    "shard_p99_ratio",
+    "idle_notify_event_ratio",
+)
 #: extra_info keys that gate, lower is better (latencies, overheads).
-GATED_LOWER = ("reheat_latency_s", "makespan_overhead_ratio")
+GATED_LOWER = (
+    "reheat_latency_s",
+    "makespan_overhead_ratio",
+    "events_per_task_1k",
+)
 #: extra_info keys shown for context only (absolute; runner-dependent).
 INFORMATIONAL = (
     "churn_events_per_sec",
     "archived_blocks",
     "restored_blocks",
     "pull_index_speedup_1k",
+    "scale_events_per_sec_1000n",
+    "scale_wall_s_1000n",
+    "scale_peak_rss_mb_400n",
+    "idle_notify_wall_ratio",
 )
 
 

@@ -1,0 +1,219 @@
+"""Production-scale sweep: nodes x blocks SWIM runs (DESIGN.md §12).
+
+Not a paper figure -- the paper's testbed tops out at 7 workers.  This
+bench pins the *simulator's* scalability so the repo can run
+production-shaped configs (1k nodes, ~1M blocks) in single-digit
+minutes:
+
+* the **scale sweep** runs the SWIM mix at 100/400/1000 nodes and
+  records wall-clock, engine events/sec, and events-per-task.  The
+  gated number is ``events_per_task_1k``: events processed per map
+  task at 1k nodes, a *deterministic, machine-independent* measure of
+  engine event volume (an accidental O(nodes) polling loop shows up
+  here long before wall-clock noise would catch it);
+* the **idle-notify ratio** compares the paper's poll-mode idle loop
+  against ``idle_pull="notify"`` on the same config.  The gated number
+  is the *event-count* ratio (deterministic); the wall-clock ratio is
+  reported for context;
+* the **memory point** re-runs the mid config under ``tracemalloc``
+  and reports peak traced memory (informational: allocator- and
+  Python-version-dependent);
+* the **full run** (1k nodes / >= 1M blocks) only executes when
+  ``DYRS_SCALE_FULL=1`` -- it takes minutes by design and the nightly
+  soak owns it; the CI gate job runs the sweep only.
+
+Scale runs use ``idle_pull="notify"`` (the scale configuration;
+byte-identity of the default poll mode is pinned separately by
+``tests/core/test_scale_equivalence.py``).
+"""
+
+import gc
+import os
+import time
+import tracemalloc
+
+import pytest
+
+from repro.experiments.common import PaperSetup, build_system
+from repro.units import GB, MB
+from repro.workloads.swim import generate_swim_workload, materialize_swim_jobs
+
+#: (n_workers, n_jobs, total input) -- block count is total / 256 MB.
+SWEEP = (
+    (100, 100, 3200 * GB),
+    (400, 150, 6400 * GB),
+    (1000, 200, 12800 * GB),
+)
+
+FULL_NODES = 1000
+FULL_JOBS = 12000
+FULL_INPUT = 256_000 * GB  # ~1M blocks at 256 MB
+FULL_BUDGET_S = 600.0
+
+
+def _run_swim(
+    n_workers,
+    n_jobs,
+    total_input,
+    idle_pull="notify",
+    seed=0,
+    mean_interarrival=None,
+):
+    """Build, materialize, and run one SWIM mix; return metrics."""
+    setup = PaperSetup(
+        scheme="dyrs",
+        seed=seed,
+        interference="none",
+        n_workers=n_workers,
+        block_size=256 * MB,
+        dyrs_overrides={"idle_pull": idle_pull},
+    )
+    system = build_system(setup)
+    # Nothing reads the queue-occupancy samples here and at 1M tasks
+    # the sample list is the run's largest allocation.
+    system.runtime.scheduler.sample_stride = 0
+    swim_kwargs = {}
+    if mean_interarrival is not None:
+        swim_kwargs["mean_interarrival"] = mean_interarrival
+    descriptors = generate_swim_workload(
+        system.cluster.rngs.stream("scale.swim"),
+        n_jobs=n_jobs,
+        total_input=total_input,
+        max_input=min(24 * GB, total_input / 4),
+        **swim_kwargs,
+    )
+    jobs = materialize_swim_jobs(system, descriptors)
+    n_tasks = sum(job.total_map_tasks for job in jobs)
+    # The materialized dataset (blocks, namespace, replicas) is live
+    # for the whole run; freezing it into the permanent generation
+    # keeps every later full GC pass from re-scanning millions of
+    # immortal objects (~10% at 51k blocks, more at 1M).
+    gc.collect()
+    gc.freeze()
+    start = time.perf_counter()
+    system.runtime.run_to_completion(jobs)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "steps": system.sim.steps,
+        "tasks": n_tasks,
+        "sim_now": system.sim.now,
+        "events_per_sec": system.sim.steps / wall if wall > 0 else 0.0,
+        "events_per_task": system.sim.steps / n_tasks,
+    }
+
+
+def test_scale_sweep(benchmark):
+    """Nodes x blocks sweep; gates on deterministic event volume."""
+    rows = {}
+
+    def sweep():
+        for n_workers, n_jobs, total_input in SWEEP:
+            rows[n_workers] = _run_swim(n_workers, n_jobs, total_input)
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(f"{'nodes':>6} {'tasks':>8} {'wall_s':>8} {'events/s':>10} {'ev/task':>8}")
+    for n_workers, m in sorted(rows.items()):
+        print(
+            f"{n_workers:>6} {m['tasks']:>8} {m['wall_s']:>8.1f} "
+            f"{m['events_per_sec']:>10,.0f} {m['events_per_task']:>8.1f}"
+        )
+        benchmark.extra_info[f"scale_wall_s_{n_workers}n"] = m["wall_s"]
+        benchmark.extra_info[f"scale_events_per_sec_{n_workers}n"] = m[
+            "events_per_sec"
+        ]
+        benchmark.extra_info[f"scale_tasks_{n_workers}n"] = m["tasks"]
+
+    # The gate: deterministic events-per-task at 1k nodes.  A polling
+    # loop that scales with cluster size (the exact bug the notify
+    # mode removed) multiplies this number; runner speed cannot.
+    benchmark.extra_info["events_per_task_1k"] = rows[1000]["events_per_task"]
+    assert rows[1000]["events_per_task"] < 60.0, rows[1000]
+
+
+def test_idle_notify_event_ratio(benchmark):
+    """Poll-mode idle slaves re-pull every heartbeat interval; at 1k
+    nodes that polling dominates the event heap.  Gate the
+    (deterministic) event-count ratio so the notify path keeps paying
+    for itself."""
+    n_workers, n_jobs, total_input = 200, 100, 3200 * GB
+
+    def both():
+        poll = _run_swim(n_workers, n_jobs, total_input, idle_pull="poll")
+        notify = _run_swim(n_workers, n_jobs, total_input, idle_pull="notify")
+        return poll, notify
+
+    poll, notify = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    event_ratio = poll["steps"] / notify["steps"]
+    wall_ratio = poll["wall_s"] / notify["wall_s"]
+    print(
+        f"\nidle_pull at {n_workers} nodes: poll {poll['steps']:,} events "
+        f"/ {poll['wall_s']:.1f}s, notify {notify['steps']:,} events "
+        f"/ {notify['wall_s']:.1f}s (event ratio {event_ratio:.2f}x, "
+        f"wall ratio {wall_ratio:.2f}x)"
+    )
+    # Same simulated outcome, fewer engine events.
+    assert abs(poll["sim_now"] - notify["sim_now"]) < 60.0, (poll, notify)
+    assert event_ratio >= 1.3, event_ratio
+
+    benchmark.extra_info["idle_notify_event_ratio"] = event_ratio
+    benchmark.extra_info["idle_notify_wall_ratio"] = wall_ratio
+
+
+def test_scale_memory(benchmark):
+    """Peak traced memory of the mid sweep config (informational)."""
+    n_workers, n_jobs, total_input = SWEEP[1]
+
+    def traced():
+        tracemalloc.start()
+        try:
+            metrics = _run_swim(n_workers, n_jobs, total_input)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        metrics["peak_mb"] = peak / (1024 * 1024)
+        return metrics
+
+    metrics = benchmark.pedantic(traced, rounds=1, iterations=1)
+    blocks = metrics["tasks"]  # one map task per block in this mix
+    print(
+        f"\npeak traced memory at {n_workers} nodes / {blocks} blocks: "
+        f"{metrics['peak_mb']:.1f} MB "
+        f"({metrics['peak_mb'] * 1024 / blocks:.2f} KB/block)"
+    )
+    benchmark.extra_info["scale_peak_rss_mb_400n"] = metrics["peak_mb"]
+    benchmark.extra_info["scale_peak_kb_per_block"] = (
+        metrics["peak_mb"] * 1024 / blocks
+    )
+
+
+@pytest.mark.skipif(
+    os.environ.get("DYRS_SCALE_FULL") != "1",
+    reason="full 1k-node / 1M-block run only under DYRS_SCALE_FULL=1 (nightly)",
+)
+def test_full_scale_1m_blocks(benchmark):
+    """The tentpole acceptance run: a full SWIM mix at 1,000 nodes and
+    >= 1M blocks must finish in single-digit minutes."""
+
+    def full():
+        # A 1-second mean interarrival keeps the 1k-node cluster
+        # loaded the way a production cluster is; the default 6 s
+        # spread leaves the simulator modeling hours of idle ticks.
+        return _run_swim(FULL_NODES, FULL_JOBS, FULL_INPUT, mean_interarrival=1.0)
+
+    metrics = benchmark.pedantic(full, rounds=1, iterations=1)
+    print(
+        f"\nfull scale run: {metrics['tasks']:,} tasks in "
+        f"{metrics['wall_s']:.0f}s wall ({metrics['events_per_sec']:,.0f} "
+        f"events/s, sim horizon {metrics['sim_now']:.0f}s)"
+    )
+    assert metrics["tasks"] >= 1_000_000, metrics
+    assert metrics["wall_s"] < FULL_BUDGET_S, metrics
+
+    benchmark.extra_info["full_wall_s"] = metrics["wall_s"]
+    benchmark.extra_info["full_tasks"] = metrics["tasks"]
+    benchmark.extra_info["full_events_per_sec"] = metrics["events_per_sec"]

@@ -28,7 +28,7 @@ class TaskKind(enum.Enum):
     REDUCE = "reduce"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskSpec:
     """One task.
 
@@ -74,7 +74,7 @@ class TaskSpec:
                 raise ValueError(f"{name} must be >= 0 for task {self.task_id}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageSpec:
     """A set of tasks that runs after its dependencies complete."""
 
@@ -90,7 +90,7 @@ class StageSpec:
             raise ValueError(f"duplicate task ids in stage {self.name!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobSpec:
     """One job: inputs, DAG, submission parameters.
 

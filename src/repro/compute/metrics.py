@@ -18,7 +18,7 @@ from repro.obs import metrics as obs_metrics
 __all__ = ["TaskMetrics", "JobMetrics", "MetricsCollector"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskMetrics:
     """Timeline of one task."""
 
@@ -53,7 +53,7 @@ class TaskMetrics:
         return self.read_done_at - self.started_at
 
 
-@dataclass
+@dataclass(slots=True)
 class JobMetrics:
     """Timeline and aggregates of one job."""
 

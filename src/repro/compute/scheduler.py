@@ -20,6 +20,7 @@ memory-pressure GC (§III-C3).
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -81,6 +82,18 @@ class TaskScheduler:
         self._free: dict[int, int] = {
             node.node_id: node.spec.task_slots for node in cluster.nodes
         }
+        #: Cached ``sum(self._free.values())``, kept exact by the two
+        #: mutation sites (grant / release).  The dispatch loop reads
+        #: it per iteration; at 1k nodes the recomputed sum dominated.
+        self._total_free = sum(self._free.values())
+        #: Lazy max-heap of ``(-free, node_id)`` snapshots for the
+        #: non-local fallback pick.  Entries go stale when a node's
+        #: free count changes; :meth:`_pick_most_free` discards them on
+        #: pop (the usual lazy-deletion heap).
+        self._free_heap: list[tuple[int, int]] = [
+            (-free, node_id) for node_id, free in self._free.items()
+        ]
+        heapq.heapify(self._free_heap)
         self._queue: deque[_SlotRequest] = deque()
         self._cancelled: set[Event] = set()
         self._active_jobs: dict[str, int] = {}
@@ -92,6 +105,12 @@ class TaskScheduler:
         self.nonlocal_grants = 0
         #: (time, queued_requests) samples for utilization analysis.
         self.queue_samples: list[tuple[float, int]] = []
+        #: Sample every Nth dispatch (1 = every dispatch, the
+        #: default; 0 disables sampling).  Scale runs turn this off:
+        #: at ~10 dispatches per task the sample list is the largest
+        #: allocation in a million-task run and nothing reads it.
+        self.sample_stride = 1
+        self._dispatch_count = 0
 
     # -- job registry (for GC, §III-C3) ------------------------------------------
 
@@ -115,7 +134,7 @@ class TaskScheduler:
 
     @property
     def total_free_slots(self) -> int:
-        return sum(self._free.values())
+        return self._total_free
 
     @property
     def queued_requests(self) -> int:
@@ -160,7 +179,10 @@ class TaskScheduler:
         return self._running.get(job_id, 0)
 
     def _release(self, node_id: int, job_id: str = "") -> None:
-        self._free[node_id] += 1
+        free = self._free[node_id] + 1
+        self._free[node_id] = free
+        self._total_free += 1
+        heapq.heappush(self._free_heap, (-free, node_id))
         if job_id:
             count = self._running.get(job_id, 0) - 1
             if count <= 0:
@@ -182,6 +204,10 @@ class TaskScheduler:
         # Fallback: the node with the most free slots, so placement
         # without locality spreads like a capacity scheduler instead of
         # piling onto the lowest node id.
+        if not banned:
+            return self._pick_most_free()
+        # Bans are rare (speculative attempts only); the linear scan
+        # keeps them exact without complicating the heap.
         best: Optional[int] = None
         best_free = 0
         for node_id, free in self._free.items():
@@ -191,6 +217,35 @@ class TaskScheduler:
                 and self.cluster.node(node_id).alive
             ):
                 best, best_free = node_id, free
+        return best
+
+    def _pick_most_free(self) -> Optional[int]:
+        """Max-free pick off the lazy heap; ties to the lowest node id
+        (the order the linear scan over ascending node ids produced).
+
+        Stale snapshots are dropped on pop; accurate entries for dead
+        nodes are set aside and re-pushed, so a node that recovers with
+        slots still free remains reachable.
+        """
+        heap = self._free_heap
+        free_map = self._free
+        node = self.cluster.node
+        skipped: list[tuple[int, int]] = []
+        best: Optional[int] = None
+        while heap:
+            neg_free, node_id = heap[0]
+            if -neg_free != free_map[node_id]:
+                heapq.heappop(heap)  # stale snapshot
+                continue
+            if neg_free == 0:
+                break  # 0 slots everywhere from here down
+            if not node(node_id).alive:
+                skipped.append(heapq.heappop(heap))
+                continue
+            best = node_id
+            break
+        for entry in skipped:
+            heapq.heappush(heap, entry)
         return best
 
     def _try_grant(self, request: _SlotRequest) -> bool:
@@ -210,7 +265,10 @@ class TaskScheduler:
                 request.queued_since + self.locality_delay, self._dispatch
             )
             return False
-        self._free[node_id] -= 1
+        free = self._free[node_id] - 1
+        self._free[node_id] = free
+        self._total_free -= 1
+        heapq.heappush(self._free_heap, (-free, node_id))
         if is_preferred:
             self.local_grants += 1
         else:
@@ -233,7 +291,11 @@ class TaskScheduler:
         either... unless bans differ, which only speculative attempts
         use.
         """
-        self.queue_samples.append((self.sim.now, len(self._queue)))
+        stride = self.sample_stride
+        if stride:
+            self._dispatch_count += 1
+            if self._dispatch_count % stride == 0:
+                self.queue_samples.append((self.sim.now, len(self._queue)))
         index = 0
         queue = self._queue
         while index < len(queue):

@@ -22,7 +22,8 @@ The class is split along the sharding seam the federated master needs:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
 
 from repro.core.eviction import ReferenceTracker
 from repro.core.records import MigrationRecord, MigrationStatus
@@ -35,7 +36,46 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.slave import DyrsSlave
     from repro.dfs.namenode import NameNode
 
-__all__ = ["MigrationMaster", "RecordLedger"]
+__all__ = [
+    "LEDGER_SCAN_MODES",
+    "MigrationMaster",
+    "RecordLedger",
+    "default_ledger_scan",
+    "use_ledger_scan",
+]
+
+#: Failure-scan implementations: ``indexed`` walks the per-node
+#: in-flight index (O(records actually affected)); ``oracle`` is the
+#: original full-table scan kept as the equivalence reference --
+#: exactly the PR-2 kernel-registry template.
+LEDGER_SCAN_MODES = ("indexed", "oracle")
+
+_DEFAULT_LEDGER_SCAN = "indexed"
+
+
+def default_ledger_scan() -> str:
+    """The failure-scan mode new scans use (module default)."""
+    return _DEFAULT_LEDGER_SCAN
+
+
+@contextmanager
+def use_ledger_scan(mode: str) -> Iterator[None]:
+    """Temporarily switch the module-default failure-scan mode.
+
+    The equivalence tests run paper-scale workloads under both modes
+    and assert byte-identical record/binding logs.
+    """
+    global _DEFAULT_LEDGER_SCAN
+    if mode not in LEDGER_SCAN_MODES:
+        raise ValueError(
+            f"unknown ledger scan mode {mode!r}; choose from {LEDGER_SCAN_MODES}"
+        )
+    previous = _DEFAULT_LEDGER_SCAN
+    _DEFAULT_LEDGER_SCAN = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_LEDGER_SCAN = previous
 
 
 class RecordLedger:
@@ -61,8 +101,47 @@ class RecordLedger:
         self._records: dict[BlockId, MigrationRecord] = {}
         #: Append-only log of every record ever created (metrics).
         self.record_log: list[MigrationRecord] = []
+        #: BOUND/ACTIVE records grouped by the slave they are bound to,
+        #: maintained by the records' transition hooks.  Failure scans
+        #: read this instead of walking ``_records`` (O(all blocks)).
+        self._inflight_by_node: dict[int, dict[BlockId, MigrationRecord]] = {}
+        #: Position each block first entered ``_records`` -- i.e. its
+        #: dict iteration position, which re-filing a replacement record
+        #: under the same key preserves.  Indexed scans sort candidates
+        #: by this to reproduce the oracle's table order exactly.
+        self._arrival_seq: dict[BlockId, int] = {}
 
     # -- record plumbing --------------------------------------------------------
+
+    def _file_record(self, record: MigrationRecord) -> None:
+        """Install ``record`` as the live record for its block."""
+        block_id = record.block_id
+        if block_id not in self._arrival_seq:
+            self._arrival_seq[block_id] = len(self._arrival_seq)
+        record.ledger = self
+        self._records[block_id] = record
+
+    def _record_bound(self, record: MigrationRecord) -> None:
+        """Transition hook: a filed record entered BOUND."""
+        self._inflight_by_node.setdefault(record.bound_node, {})[
+            record.block_id
+        ] = record
+
+    def _record_unbound(self, record: MigrationRecord) -> None:
+        """Transition hook: a filed record left BOUND/ACTIVE."""
+        bucket = self._inflight_by_node.get(record.bound_node)
+        if bucket is not None:
+            bucket.pop(record.block_id, None)
+            if not bucket:
+                del self._inflight_by_node[record.bound_node]
+
+    def _inflight_on_node(self, node_id: int) -> list[MigrationRecord]:
+        """BOUND/ACTIVE records bound to ``node_id``, in table order."""
+        bucket = self._inflight_by_node.get(node_id)
+        if not bucket:
+            return []
+        seq = self._arrival_seq
+        return sorted(bucket.values(), key=lambda r: seq[r.block_id])
 
     def discard(self, record: MigrationRecord, reason: str) -> None:
         """Cancel a not-yet-active migration."""
@@ -85,7 +164,7 @@ class RecordLedger:
     def _remigrate(self, block: Block) -> MigrationRecord:
         """Create and enqueue a fresh PENDING record for ``block``."""
         replacement = self._new_record(block)
-        self._records[block.block_id] = replacement
+        self._file_record(replacement)
         self.record_log.append(replacement)
         obs.emit(obs.PENDING, self.sim.now, block=block.block_id)
         self._on_new_records([replacement])
@@ -157,12 +236,28 @@ class MigrationMaster(RecordLedger):
         #: memory-pressure GC sweep (§III-C3); the compute scheduler
         #: plugs in here.
         self.active_jobs_provider: Optional[Callable[[], Sequence[str]]] = None
+        #: Idle slaves waiting to be woken when work targets them
+        #: (``idle_pull="notify"``); empty in the paper's poll mode.
+        self._parked: dict[int, Event] = {}
 
     # -- slave registry ------------------------------------------------------
 
     def register_slave(self, slave: "DyrsSlave") -> None:
         """Attach a slave; subclasses may extend (e.g. seed load state)."""
         self.slaves[slave.node_id] = slave
+
+    # -- idle-slave parking (idle_pull="notify") -----------------------------
+
+    def park_idle_slave(self, node_id: int, signal: Event) -> None:
+        """An idle slave waits on ``signal``; wake it when work may
+        target it.  Re-parking overwrites any stale entry left by a
+        crashed worker."""
+        self._parked[node_id] = signal
+
+    def unpark_idle_slave(self, node_id: int, signal: Event) -> None:
+        """Withdraw a parked signal (slave woke up by other means)."""
+        if self._parked.get(node_id) is signal:
+            del self._parked[node_id]
 
     # -- client API ------------------------------------------------------------
 
@@ -204,7 +299,7 @@ class MigrationMaster(RecordLedger):
                 # request needs.
                 continue
             record = self._new_record(block)
-            self._records[block.block_id] = record
+            self._file_record(record)
             self.record_log.append(record)
             obs.emit(obs.PENDING, self.sim.now, block=block.block_id)
             new_records.append(record)
@@ -279,25 +374,46 @@ class MigrationMaster(RecordLedger):
         * return bound-but-unfinished work to the pending pool (the old
           bindings are final, so fresh records replace them).
         """
-        lost = {
+        lost_ids = [
             block_id
             for block_id, nid in self.namenode.memory_directory.items()
             if nid == node_id
-        }
+        ]
         self.namenode.drop_node_memory_state(node_id)
-        for record in list(self._records.values()):
-            if record.status is MigrationStatus.DONE and record.block_id in lost:
-                record.mark_evicted()
-                obs.emit(
-                    obs.EVICTED, self.sim.now, block=record.block_id, node=node_id
-                )
-                if self.tracker.is_referenced(record.block_id):
-                    self._remigrate(record.block)
-            elif (
-                record.status in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
-                and record.bound_node == node_id
-            ):
+        if default_ledger_scan() == "oracle":
+            lost = set(lost_ids)
+            for record in list(self._records.values()):
+                if record.status is MigrationStatus.DONE and record.block_id in lost:
+                    self._evict_lost_record(record, node_id)
+                elif (
+                    record.status in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
+                    and record.bound_node == node_id
+                ):
+                    self._requeue_after_failure(record)
+            return
+        # Indexed scan: DONE records come from the node's directory
+        # entries, BOUND/ACTIVE ones from the in-flight index; merging
+        # in table order reproduces the oracle's iteration exactly.
+        seq = self._arrival_seq
+        candidates = [
+            record
+            for record in map(self._records.get, lost_ids)
+            if record is not None and record.status is MigrationStatus.DONE
+        ]
+        candidates.extend(self._inflight_on_node(node_id))
+        candidates.sort(key=lambda r: seq[r.block_id])
+        for record in candidates:
+            if record.status is MigrationStatus.DONE:
+                self._evict_lost_record(record, node_id)
+            else:
                 self._requeue_after_failure(record)
+
+    def _evict_lost_record(self, record: MigrationRecord, node_id: int) -> None:
+        """A DONE record's in-memory data died with its slave."""
+        record.mark_evicted()
+        obs.emit(obs.EVICTED, self.sim.now, block=record.block_id, node=node_id)
+        if self.tracker.is_referenced(record.block_id):
+            self._remigrate(record.block)
 
     def gc_sweep(self) -> list[str]:
         """Memory-pressure GC: drop references of inactive jobs.

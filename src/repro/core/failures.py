@@ -216,7 +216,12 @@ class FailureInjector:
         self._degrade_at(when, node_id, "nic", factor, restore_after)
 
     def _degrade_at(
-        self, when: float, node_id: int, device: str, factor: float, restore_after: float
+        self,
+        when: float,
+        node_id: int,
+        device: str,
+        factor: float,
+        restore_after: float,
     ) -> None:
         if not 0 < factor < 1:
             raise ValueError(f"degrade factor must be in (0, 1), got {factor}")

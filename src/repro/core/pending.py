@@ -118,6 +118,11 @@ class PendingPool:
         bucket = self._by_target.get(node_id)
         return list(bucket.values()) if bucket else []
 
+    def targeted_nodes(self) -> frozenset[int]:
+        """Nodes with at least one record currently targeted at them
+        (the wake set for parked idle slaves)."""
+        return frozenset(self._by_target)
+
     def _index(self, block_id: "BlockId", record: "MigrationRecord") -> None:
         target = record.target_node
         self._indexed_target[block_id] = target

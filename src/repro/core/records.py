@@ -18,10 +18,13 @@ timelines and the binding-delay ablation can be derived from the log.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.dfs.block import Block
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import RecordLedger
 
 __all__ = ["MigrationStatus", "MigrationRecord", "BindingEvent"]
 
@@ -45,13 +48,19 @@ class MigrationStatus(enum.Enum):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class MigrationRecord:
     """One block's migration state and timeline.
 
     ``source_tier``/``dest_tier`` generalize the paper's single
     disk->memory edge for the tiered-storage extension; the defaults
     make a plain DYRS record byte-for-byte identical to before.
+
+    Records filed into a :class:`~repro.core.base.RecordLedger` carry a
+    ``ledger`` backref so status transitions can keep the ledger's
+    per-node in-flight index exact without the ledger rescanning its
+    whole record table (the 1k-node scaling fix); free-standing records
+    (tier moves, unit tests) leave it ``None`` and behave as before.
     """
 
     block: Block
@@ -71,6 +80,9 @@ class MigrationRecord:
     completed_at: Optional[float] = None
     discarded_at: Optional[float] = None
     discard_reason: Optional[str] = None
+    #: Owning ledger, set when the record is filed; excluded from
+    #: equality so records compare by their migration state alone.
+    ledger: Optional["RecordLedger"] = field(default=None, compare=False)
 
     @property
     def block_id(self) -> int:
@@ -103,6 +115,8 @@ class MigrationRecord:
         self.status = MigrationStatus.BOUND
         self.bound_node = node_id
         self.bound_at = now
+        if self.ledger is not None:
+            self.ledger._record_bound(self)
 
     def mark_active(self, now: float) -> None:
         if self.status is not MigrationStatus.BOUND:
@@ -119,15 +133,20 @@ class MigrationRecord:
             )
         self.status = MigrationStatus.DONE
         self.completed_at = now
+        if self.ledger is not None:
+            self.ledger._record_unbound(self)
 
     def mark_discarded(self, now: float, reason: str) -> None:
         if self.status.is_terminal:
             raise RuntimeError(
                 f"cannot discard migration of block {self.block_id} in {self.status}"
             )
+        was_inflight = self.status in (MigrationStatus.BOUND, MigrationStatus.ACTIVE)
         self.status = MigrationStatus.DISCARDED
         self.discarded_at = now
         self.discard_reason = reason
+        if was_inflight and self.ledger is not None:
+            self.ledger._record_unbound(self)
 
     def mark_evicted(self) -> None:
         if self.status is not MigrationStatus.DONE:
@@ -143,7 +162,7 @@ class MigrationRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BindingEvent:
     """Audit-log entry: one binding decision by the master."""
 

@@ -282,7 +282,7 @@ class DyrsSlave:
         """
         return {"shard": self.master.home_shard_of(self.node_id)}
 
-    # -- worker internals ---------------------------------------------------------------
+    # -- worker internals --------------------------------------------------------------
 
     def _space_available(self) -> int:
         return self.queue_depth_target - self.queued_blocks
@@ -428,13 +428,32 @@ class DyrsSlave:
             while True:
                 self._maybe_pull()
                 if not self._queue:
-                    # Idle: wait for work, re-polling the master at
-                    # heartbeat cadence (periodic query, §III-A1).
                     self._work_signal = Event(sim, name=f"work:{self.node_id}")
-                    yield AnyOf(
-                        sim,
-                        [self._work_signal, sim.timeout(self.config.heartbeat_interval)],
-                    )
+                    if self.config.idle_pull == "notify":
+                        # Notify mode: park at the master and wait to be
+                        # woken by a retarget pass that aims work here.
+                        # The backstop keeps liveness if a wake is lost
+                        # (master failover, shard crash); it is long --
+                        # 50 heartbeat intervals -- because on an idle
+                        # 1k-node cluster these periodic re-polls are
+                        # the dominant event-heap load, and correctness
+                        # never depends on them.
+                        self.master.park_idle_slave(self.node_id, self._work_signal)
+                        backstop = sim.timeout(self.config.heartbeat_interval * 50.0)
+                        yield AnyOf(sim, [self._work_signal, backstop])
+                        self.master.unpark_idle_slave(self.node_id, self._work_signal)
+                        if not backstop.processed:
+                            sim.discard(backstop)
+                    else:
+                        # Idle: wait for work, re-polling the master at
+                        # heartbeat cadence (periodic query, §III-A1).
+                        yield AnyOf(
+                            sim,
+                            [
+                                self._work_signal,
+                                sim.timeout(self.config.heartbeat_interval),
+                            ],
+                        )
                     self._work_signal = None
                     continue
                 record = self._queue.popleft()

@@ -17,7 +17,7 @@ __all__ = ["Block", "BlockId"]
 BlockId = int
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     """One DFS block.
 

@@ -57,7 +57,7 @@ class ReadSource(enum.Enum):
         return self in (ReadSource.LOCAL_ARCHIVE, ReadSource.REMOTE_ARCHIVE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRecord:
     """One completed (started) block read, for metrics."""
 
@@ -128,6 +128,15 @@ class DataNode:
     @property
     def disk_replica_count(self) -> int:
         return len(self._disk_blocks)
+
+    def disk_block_ids(self) -> list[BlockId]:
+        """Ids of all disk-resident replicas, in ascending order.
+
+        A superset of the blocks the namespace still maps here (file
+        deletion does not scrub disks); sorted so callers iterating it
+        stay deterministic.
+        """
+        return sorted(self._disk_blocks)
 
     # -- migration support (used by the DYRS slave) -----------------------------
 
@@ -277,7 +286,9 @@ class DataNode:
 
         return event, cancel
 
-    def read(self, block: Block, reader_node: Optional[int]) -> tuple[Event, ReadSource]:
+    def read(
+        self, block: Block, reader_node: Optional[int]
+    ) -> tuple[Event, ReadSource]:
         """Serve a read of ``block`` for a task on ``reader_node``.
 
         Chooses memory over disk; charges the bottleneck resource for
@@ -289,8 +300,9 @@ class DataNode:
         if self.has_memory_replica(block.block_id):
             if reader_node == self.node_id:
                 source = ReadSource.LOCAL_MEMORY
-                flow = self.node.memory.read_channel.start_flow(block.size, tag=tag)
-                cancel = lambda: self.node.memory.read_channel.cancel(flow)  # noqa: E731
+                channel = self.node.memory.read_channel
+                flow = channel.start_flow(block.size, tag=tag)
+                cancel = lambda: channel.cancel(flow)  # noqa: E731
                 event = flow.done
             else:
                 source = ReadSource.REMOTE_MEMORY

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["NameNode", "HeartbeatReport"]
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatReport:
     """One heartbeat from a DataNode to the NameNode.
 
@@ -216,14 +216,24 @@ class NameNode:
 
     def is_drained(self, node_id: int) -> bool:
         """Every block with a replica on ``node_id`` already has its
-        full complement of healthy replicas elsewhere."""
-        for entry in self.namespace.files():
-            for block in entry.blocks:
-                if node_id not in block.replica_nodes:
-                    continue
-                healthy = [n for n in self.healthy_replicas(block) if n != node_id]
-                if len(healthy) < self.replication_target(block) or not healthy:
-                    return False
+        full complement of healthy replicas elsewhere.
+
+        Walks the node's own disk inventory instead of the whole
+        namespace -- the inventory is a superset of the blocks the
+        namespace still maps to the node (deleted files leave replicas
+        behind), so filtering it by membership gives the same block
+        set the full namespace scan would have visited.
+        """
+        for block_id in self.datanodes[node_id].disk_block_ids():
+            try:
+                block = self.namespace.block(block_id)
+            except KeyError:
+                continue  # file deleted; nothing left to protect
+            if node_id not in block.replica_nodes:
+                continue
+            healthy = [n for n in self.healthy_replicas(block) if n != node_id]
+            if len(healthy) < self.replication_target(block) or not healthy:
+                return False
         return True
 
     def finish_decommission_if_drained(self, node_id: int) -> bool:
@@ -333,7 +343,9 @@ class NameNode:
             dn = self.datanodes[ssd_node]
             if dn.has_ssd_replica(block.block_id):
                 return dn
-        directed = self.read_directives.get(block.block_id) if honor_directives else None
+        directed = (
+            self.read_directives.get(block.block_id) if honor_directives else None
+        )
         if (
             directed is not None
             and directed in block.replica_nodes

@@ -7,8 +7,7 @@ client requests migration (§III); this module is that mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import count
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.dfs.block import Block, BlockId
 from repro.units import MB
@@ -19,7 +18,7 @@ __all__ = ["Namespace", "FileEntry", "DEFAULT_BLOCK_SIZE"]
 DEFAULT_BLOCK_SIZE = 256 * MB
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FileEntry:
     """Metadata for one file."""
 
@@ -36,8 +35,11 @@ class Namespace:
             raise ValueError(f"block_size must be positive, got {block_size}")
         self.block_size = float(block_size)
         self._files: dict[str, FileEntry] = {}
-        self._blocks: dict[BlockId, Block] = {}
-        self._next_block_id = count()
+        #: Block ids are dense (assigned sequentially from 0), so the
+        #: block map is a flat array indexed by id -- at a million
+        #: blocks this replaces the hottest dict in the namespace with
+        #: a list index.  Removed files leave ``None`` holes.
+        self._blocks: list[Optional[Block]] = []
 
     # -- queries -----------------------------------------------------------
 
@@ -56,8 +58,14 @@ class Namespace:
         return tuple(self._files.values())
 
     def block(self, block_id: BlockId) -> Block:
-        """Look up a block by id."""
-        return self._blocks[block_id]
+        """Look up a block by id; raises ``KeyError`` if unknown."""
+        try:
+            found = self._blocks[block_id]
+        except (IndexError, TypeError):
+            raise KeyError(block_id) from None
+        if found is None:
+            raise KeyError(block_id)
+        return found
 
     def blocks_of(self, names: Iterable[str]) -> list[Block]:
         """Flatten ``names`` into their blocks, preserving file order.
@@ -105,9 +113,10 @@ class Namespace:
                 f"file {name!r} needs {len(sizes)} replica sets, "
                 f"got {len(replica_sets)}"
             )
+        first_id = len(self._blocks)
         blocks = tuple(
             Block(
-                block_id=next(self._next_block_id),
+                block_id=first_id + i,
                 file=name,
                 index=i,
                 size=sizes[i],
@@ -117,13 +126,12 @@ class Namespace:
         )
         entry = FileEntry(name=name, size=float(size), blocks=blocks)
         self._files[name] = entry
-        for block in blocks:
-            self._blocks[block.block_id] = block
+        self._blocks.extend(blocks)
         return entry
 
     def remove_file(self, name: str) -> None:
         """Delete a file and its blocks from the namespace."""
         entry = self.file(name)
         for block in entry.blocks:
-            del self._blocks[block.block_id]
+            self._blocks[block.block_id] = None
         del self._files[name]

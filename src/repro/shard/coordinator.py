@@ -150,6 +150,10 @@ class ShardCoordinator(DyrsMaster):
         dict has disjoint keys because ownership is a partition.
         """
         self.retarget_passes += 1
+        if all(len(shard) == 0 for shard in self._shards):
+            # Same empty-pass skip as the flat master: no shard has
+            # anything to place, so no pass can change state.
+            return {}
         loads = self._eligible_loads()
         targets: dict[int, int] = {}
         for shard in self._shards:
@@ -161,7 +165,15 @@ class ShardCoordinator(DyrsMaster):
                         self.config.reference_block_size,
                     )
                 )
+        self._wake_parked()
         return targets
+
+    def _targeted_nodes(self) -> frozenset[int]:
+        targeted: set[int] = set()
+        for shard in self._shards:
+            if shard.alive:
+                targeted |= shard.targeted_nodes()
+        return frozenset(targeted)
 
     # -- the pull protocol, fanned ------------------------------------------------
 

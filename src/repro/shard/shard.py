@@ -66,6 +66,10 @@ class MasterShard:
         self._pending.clear()
         return records
 
+    def targeted_nodes(self) -> frozenset[int]:
+        """Nodes this shard currently targets (idle-notify wake set)."""
+        return self._pending.targeted_nodes()
+
     # -- Algorithm 1, shard-local ---------------------------------------------
 
     def retarget(

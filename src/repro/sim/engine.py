@@ -48,6 +48,10 @@ class Simulator:
         self._seq = count()
         self._active_process: Optional[Process] = None
         self._n_discarded = 0
+        #: Total events processed by :meth:`step` over the simulator's
+        #: lifetime -- the numerator of the events/sec throughput
+        #: metric the scale benchmarks report.
+        self.steps: int = 0
 
     # -- clock ---------------------------------------------------------
 
@@ -172,6 +176,7 @@ class Simulator:
                 continue
             break
         self._now = when
+        self.steps += 1
         event._process()
 
     def run(self, until: Optional[float] = None) -> None:

@@ -59,12 +59,15 @@ class LegacyFlow:
     @property
     def transferred(self) -> float:
         """Bytes moved so far (as of the resource's last update)."""
-        if math.isinf(self.nbytes):
-            return self.nbytes - self.remaining if not math.isinf(self.remaining) else 0.0
+        if math.isinf(self.nbytes) and math.isinf(self.remaining):
+            return 0.0
         return self.nbytes - self.remaining
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<LegacyFlow {self.tag!r} remaining={self.remaining:.3g}/{self.nbytes:.3g}>"
+        return (
+            f"<LegacyFlow {self.tag!r} "
+            f"remaining={self.remaining:.3g}/{self.nbytes:.3g}>"
+        )
 
 
 class LegacyBandwidthResource:

@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AgingDatasetDescriptor:
     """One dataset: its size, hot-phase reads, and optional re-heat."""
 

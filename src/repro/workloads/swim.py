@@ -52,7 +52,7 @@ def size_bin(input_size: float) -> str:
     return "large"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwimJobDescriptor:
     """One trace job: sizes and submission time."""
 
