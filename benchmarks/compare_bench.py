@@ -34,6 +34,7 @@ GATED = (
     "swim_speedup",
     "archive_hit_ratio",
     "shard_p99_ratio",
+    "shard_async_p99_ratio",
     "idle_notify_event_ratio",
 )
 #: extra_info keys that gate, lower is better (latencies, overheads).

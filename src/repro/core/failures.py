@@ -398,16 +398,58 @@ class FailureInjector:
         self.sim.call_at(when + heal_after, _heal)
 
     def delay_rpc_at(
-        self, when: float, node_id: int, extra: float, clear_after: float
+        self,
+        when: float,
+        node_id: int,
+        extra: float,
+        clear_after: float,
+        shard_id: Optional[int] = None,
     ) -> None:
         """Add ``extra`` seconds to each pull-RPC leg on ``node_id``
-        for ``clear_after`` seconds (a congestion spike)."""
+        for ``clear_after`` seconds (a congestion spike).
+
+        With ``shard_id`` the spike targets the master side instead:
+        every node's pull leg *to that shard* is slowed (and, for the
+        synchronous rotation, the whole combined pull -- it cannot
+        return before its slowest leg).  Degrades to a no-op on flat
+        masters, which have no shard legs to slow.
+        """
         if self.master is None:
             raise RuntimeError("no migration master attached")
         if extra <= 0:
             raise ValueError(f"extra delay must be positive, got {extra}")
         if clear_after <= 0:
             raise ValueError(f"clear_after must be positive, got {clear_after}")
+
+        if shard_id is not None:
+
+            def _inject_shard() -> None:
+                master = self.master
+                if not hasattr(master, "add_shard_rpc_delay"):
+                    self._note("skip-rpc-delay", f"shard{shard_id}")
+                    return
+                master.add_shard_rpc_delay(shard_id, extra)
+                obs.emit(
+                    obs.FAULT_INJECT, self.sim.now, kind="rpc-delay",
+                    shard=shard_id, extra=extra,
+                )
+                self._note("rpc-delay", f"shard{shard_id}")
+
+            def _clear_shard() -> None:
+                master = self.master
+                if not hasattr(master, "clear_shard_rpc_delay"):
+                    self._note("skip-clear-rpc-delay", f"shard{shard_id}")
+                    return
+                master.clear_shard_rpc_delay(shard_id, extra)
+                obs.emit(
+                    obs.FAULT_CLEAR, self.sim.now, kind="rpc-delay",
+                    shard=shard_id,
+                )
+                self._note("clear-rpc-delay", f"shard{shard_id}")
+
+            self.sim.call_at(when, _inject_shard)
+            self.sim.call_at(when + clear_after, _clear_shard)
+            return
 
         def _inject() -> None:
             slave = self.master.slaves.get(node_id)
@@ -489,11 +531,12 @@ class ChaosCampaign:
         "degrade-fabric",
         "crash-tier-move",
         # Shard faults -- appended for the same reason: masters without
-        # ``crash_shard`` filter it out and keep their legacy plans.
+        # ``crash_shard`` filter them out and keep their legacy plans.
         "shard-crash",
+        "shard-loss",
     )
     ARCHIVE_KINDS = ("degrade-fabric", "crash-tier-move")
-    SHARD_KINDS = ("shard-crash",)
+    SHARD_KINDS = ("shard-crash", "shard-loss")
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -574,6 +617,11 @@ class ChaosCampaign:
                 # always come back -- a permanently headless partition
                 # just measures routed-request loss, not recovery.
                 duration = float(rng.uniform(0.05, 0.15) * self.horizon)
+            elif kind == "shard-loss":
+                # Permanent loss: the shard never comes back, which is
+                # exactly what exercises the declared-dead rebalance
+                # path (the routing slice must re-home and stay there).
+                duration = None
             plan.append(
                 ChaosFault(
                     time=when, kind=kind, node_id=node_id,
@@ -616,6 +664,8 @@ class ChaosCampaign:
                 inj.crash_tier_move_at(fault.time, fault.duration)
             elif fault.kind == "shard-crash":
                 inj.crash_shard_at(fault.time, fault.node_id, fault.duration)
+            elif fault.kind == "shard-loss":
+                inj.crash_shard_at(fault.time, fault.node_id, None)
         return self.plan
 
 

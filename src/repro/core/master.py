@@ -102,6 +102,25 @@ class DyrsConfig:
         notified slave pulls immediately instead of at its next poll
         tick), so this is a modeled protocol change, not an
         equivalence-preserving fast path.
+    shard_pull_window:
+        Per-shard outstanding-leg budget for the sharded master's pull
+        protocol.  ``None`` (the default) resolves to the scheme
+        default when built through :class:`repro.system.SystemConfig`
+        (1 for ``dyrs-sharded``, the shard count for
+        ``dyrs-sharded-async``); standalone it behaves as 1.  At 1 the
+        slave issues the synchronous combined-RPC rotation of PR 7 --
+        the same code path, so the configuration is byte-identical to
+        the stock sharded master.  At >= 2 each pull opens detached
+        per-shard RPC legs, at most ``window`` outstanding per shard,
+        so one slow or delayed shard endpoint never stalls the legs to
+        the healthy shards.
+    shard_dead_after:
+        Seconds a crashed shard may stay down before the coordinator
+        declares it permanently dead (``None`` = never).  Declaration
+        re-homes the shard's routing slice under the rendezvous
+        router; block/rack routing keeps discarding requests routed to
+        the dead shard (today's semantics) but still emits the
+        ``shard_dead`` trace event.
     """
 
     ewma_alpha: float = 0.4
@@ -119,6 +138,8 @@ class DyrsConfig:
     rpc_backoff_factor: float = 2.0
     pull_service_cost: float = 0.0
     idle_pull: str = "poll"
+    shard_pull_window: Optional[int] = None
+    shard_dead_after: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.ewma_alpha <= 1:
@@ -167,6 +188,16 @@ class DyrsConfig:
         if self.idle_pull not in ("poll", "notify"):
             raise ValueError(
                 f"idle_pull must be 'poll' or 'notify', got {self.idle_pull!r}"
+            )
+        if self.shard_pull_window is not None and self.shard_pull_window < 1:
+            raise ValueError(
+                f"shard_pull_window must be >= 1 or None, "
+                f"got {self.shard_pull_window}"
+            )
+        if self.shard_dead_after is not None and self.shard_dead_after <= 0:
+            raise ValueError(
+                f"shard_dead_after must be positive or None, "
+                f"got {self.shard_dead_after}"
             )
 
 
@@ -456,7 +487,8 @@ class DyrsMaster(MigrationMaster):
         granted = bind_from_pool(
             self._pending, self.policy, node_id, max_blocks, self.sim.now
         )
-        self._record_grant(node_id, granted)
+        if granted:
+            self._record_grant(node_id, granted)
         return granted
 
     def pull_service_seconds(self, node_id: int) -> float:
@@ -474,35 +506,38 @@ class DyrsMaster(MigrationMaster):
 
         The accounting half of the pull protocol, shared with the
         shard coordinator so a sharded grant is logged byte-identically
-        to a flat one.
+        to a flat one.  Empty grants are a strict no-op: no binding
+        entries, no trace emits, no load update (callers guard too, but
+        a second line of defense keeps every future call site honest).
         """
-        if granted:
-            slave = self.slaves[node_id]
-            # Depth grows one binding at a time: record i of this grant
-            # lands on top of the slave's queue plus the i records bound
-            # just before it (not a uniform base + len(granted)).
-            base = slave.queued_blocks
-            for i, record in enumerate(granted):
-                depth = base + i + 1
-                self.binding_log.append(
-                    BindingEvent(
-                        time=self.sim.now,
-                        block_id=record.block_id,
-                        node_id=node_id,
-                        queue_depth_after=depth,
-                    )
+        if not granted:
+            return
+        slave = self.slaves[node_id]
+        # Depth grows one binding at a time: record i of this grant
+        # lands on top of the slave's queue plus the i records bound
+        # just before it (not a uniform base + len(granted)).
+        base = slave.queued_blocks
+        for i, record in enumerate(granted):
+            depth = base + i + 1
+            self.binding_log.append(
+                BindingEvent(
+                    time=self.sim.now,
+                    block_id=record.block_id,
+                    node_id=node_id,
+                    queue_depth_after=depth,
                 )
-                obs.emit(
-                    obs.BIND,
-                    self.sim.now,
-                    block=record.block_id,
-                    node=node_id,
-                    queue_depth=depth,
-                )
-            # Granting work changes the slave's backlog; fold that into
-            # our view immediately rather than waiting a heartbeat.
-            load = self._loads[node_id]
-            self._loads[node_id] = SlaveLoad(
-                seconds_per_byte=load.seconds_per_byte,
-                queued_blocks=load.queued_blocks + len(granted),
             )
+            obs.emit(
+                obs.BIND,
+                self.sim.now,
+                block=record.block_id,
+                node=node_id,
+                queue_depth=depth,
+            )
+        # Granting work changes the slave's backlog; fold that into
+        # our view immediately rather than waiting a heartbeat.
+        load = self._loads[node_id]
+        self._loads[node_id] = SlaveLoad(
+            seconds_per_byte=load.seconds_per_byte,
+            queued_blocks=load.queued_blocks + len(granted),
+        )

@@ -97,6 +97,20 @@ class DyrsSlave:
         self._partitioned = False
         #: Extra one-way RPC delay (chaos fault: delayed-RPC spike).
         self._rpc_extra = 0.0
+        #: Async cross-shard pull (``shard_pull_window > 1`` against a
+        #: master exposing the per-shard leg API).  At window 1 -- every
+        #: flat scheme and stock ``dyrs-sharded`` -- the flag is False
+        #: and the synchronous combined-RPC path below runs verbatim.
+        self._pull_window = config.shard_pull_window or 1
+        self._async_pull = self._pull_window > 1 and hasattr(
+            master, "bind_from_shard"
+        )
+        #: Open RPC legs per shard (the window the invariant checker
+        #: proves is never exceeded) and records bound at the master but
+        #: still riding an inbound leg -- space already spoken for, so
+        #: concurrent legs cannot overshoot the queue-depth target.
+        self._leg_outstanding: dict[int, int] = {}
+        self._async_undelivered = 0
         self.alive = False
         #: Completed migrations: (record, duration), for metrics.
         self.completed: list[tuple[MigrationRecord, float]] = []
@@ -163,6 +177,11 @@ class DyrsSlave:
         # whatever process runs here next.
         self._epoch += 1
         self._pull_in_flight = False
+        # Stale async legs are fenced by the epoch bump; their counters
+        # belong to the dead incarnation and must not leak into (or be
+        # decremented by) the next one.
+        self._leg_outstanding.clear()
+        self._async_undelivered = 0
         obs.emit(obs.SLAVE_CRASH, self.sim.now, node=self.node_id)
         for record in (self._active, self._ssd_active):
             # Close the copy interval of any migration the dead process
@@ -292,9 +311,16 @@ class DyrsSlave:
 
         Models the master round trip with ``rpc_latency``; during the
         round trip the worker keeps draining the local queue -- that is
-        precisely why the queue exists (§III-B).
+        precisely why the queue exists (§III-B).  With an async pull
+        window the single combined RPC is replaced by detached
+        per-shard legs (:meth:`_maybe_pull_async`).
         """
-        if self._pull_in_flight or not self.alive:
+        if not self.alive:
+            return
+        if self._async_pull:
+            self._maybe_pull_async()
+            return
+        if self._pull_in_flight:
             return
         space = self._space_available()
         if space <= 0:
@@ -305,6 +331,115 @@ class DyrsSlave:
     def _rpc_leg_delay(self) -> float:
         """One-way RPC delay including any injected spike."""
         return self.config.rpc_latency + self._rpc_extra
+
+    # -- the async cross-shard pull (shard_pull_window > 1) -------------------------
+
+    def _async_space(self) -> int:
+        """Queue space not yet spoken for by an in-flight grant.
+
+        Recomputed at *bind* time inside each leg (the simulation is
+        single-threaded, so the value is exact there): legs never carve
+        up a stale launch-time budget, so a slow shard cannot strand
+        space and concurrent fast legs cannot overshoot the target.
+        """
+        return self.queue_depth_target - self.queued_blocks - self._async_undelivered
+
+    def _maybe_pull_async(self) -> None:
+        """Open one RPC leg per live shard, bounded per shard by the
+        pull window.
+
+        Legs are detached: a shard whose leg is delayed (chaos) or
+        whose map is deep cannot stall binding from the others -- the
+        failure isolation the synchronous rotation lacks.  Rotation
+        order (home shard first) is preserved so concurrent nodes still
+        start on different shards.
+        """
+        if self._async_space() <= 0:
+            return
+        window = self._pull_window
+        sim = self.sim
+        for shard_id, generation in self.master.pull_plan(self.node_id):
+            outstanding = self._leg_outstanding.get(shard_id, 0)
+            if outstanding >= window:
+                continue
+            self._leg_outstanding[shard_id] = outstanding + 1
+            if obs.enabled():
+                obs.emit(
+                    obs.PULL_LEG_OPEN,
+                    sim.now,
+                    node=self.node_id,
+                    shard=shard_id,
+                    window=window,
+                    outstanding=outstanding + 1,
+                )
+            sim.process(
+                self._pull_leg(shard_id, generation, self._epoch),
+                name=f"pull-leg:{self.node_id}:{shard_id}",
+            )
+
+    def _pull_leg(self, shard_id: int, generation: int, epoch: int):
+        """One detached per-shard pull leg.
+
+        Timing mirrors the synchronous pull's legs -- outbound delay
+        (plus any shard-targeted chaos extra), shard-local service,
+        bind, inbound delay -- but scoped to one shard and fenced by
+        both the slave epoch and the shard generation.  The window
+        itself is the flow-control mechanism, so ``rpc_timeout`` does
+        not apply: a slow leg holds only its own window slot, never the
+        whole pull.
+        """
+        sim = self.sim
+        master = self.master
+        delivered = False
+        try:
+            outbound = self._rpc_leg_delay() + master.shard_rpc_extra(shard_id)
+            if outbound > 0:
+                yield sim.timeout(outbound)
+            if self._partitioned or not master.alive:
+                # Blackholed request: nothing was bound, the leg just
+                # burns its window slot for the round trip.
+                return
+            service = master.shard_pull_service_seconds(shard_id)
+            if service > 0:
+                yield sim.timeout(service)
+                if not self.alive or self._epoch != epoch:
+                    return
+            granted = master.bind_from_shard(
+                shard_id, generation, self.node_id, self._async_space()
+            )
+            if not granted:
+                return
+            self._async_undelivered += len(granted)
+            inbound = self._rpc_leg_delay()
+            if inbound > 0:
+                yield sim.timeout(inbound)
+            if not self.alive or self._epoch != epoch:
+                # Crashed while the response was in flight: the crash
+                # already zeroed the undelivered counter for the old
+                # epoch, so only the master-side records need rescue.
+                master.requeue_undelivered(granted)
+                return
+            self._async_undelivered -= len(granted)
+            for record in granted:
+                if not record.status.is_terminal:
+                    self.enqueue(record)
+                    delivered = True
+        finally:
+            if self._epoch == epoch:
+                count = self._leg_outstanding.get(shard_id, 0)
+                if count > 0:
+                    self._leg_outstanding[shard_id] = count - 1
+            if obs.enabled():
+                obs.emit(
+                    obs.PULL_LEG_CLOSE, sim.now, node=self.node_id, shard=shard_id
+                )
+            if delivered:
+                # More space may remain (partial fill): chase it now.
+                # An empty leg deliberately does NOT re-trigger -- idle
+                # re-polls come from the worker loop at heartbeat
+                # cadence, exactly like the synchronous path, so an
+                # idle slave never busy-polls at RTT cadence.
+                self._maybe_pull()
 
     def _pull(self, space: int):
         """One pull, with optional timeout/retry (the hardened path).

@@ -97,9 +97,11 @@ class HeartbeatService:
         #: it forces the per-node loops regardless of ``mode``.
         self.mode = "per-node" if jitter else mode
         self._processes: list[Process] = []
-        self._contributors: dict[int, list[Callable[[], dict]]] = {
-            nid: [] for nid in namenode.datanodes
-        }
+        #: node -> payload contributors.  Lazily defaulted: a node may
+        #: register with the NameNode *after* this service is built
+        #: (late-joining DataNodes), so the map must not be a frozen
+        #: snapshot of ``namenode.datanodes`` at construction time.
+        self._contributors: dict[int, list[Callable[[], dict]]] = {}
         self._started = False
 
     def add_contributor(
@@ -122,7 +124,7 @@ class HeartbeatService:
             def contributor() -> dict:
                 return {prefix + key: value for key, value in inner().items()}
 
-        self._contributors[node_id].append(contributor)
+        self._contributors.setdefault(node_id, []).append(contributor)
 
     def start(self) -> None:
         """Launch the heartbeat machinery (idempotent)."""
@@ -162,7 +164,7 @@ class HeartbeatService:
                 # skip assembling the payload since nobody receives it.
                 if node.alive and node_id not in self.namenode.partitioned:
                     payload: dict = {}
-                    for contributor in self._contributors[node_id]:
+                    for contributor in self._contributors.get(node_id, ()):
                         payload.update(contributor())
                     self.namenode.receive_heartbeat(
                         HeartbeatReport(node_id=node_id, time=sim.now, payload=payload)
@@ -192,7 +194,7 @@ class HeartbeatService:
                 for node_id in namenode.datanodes:
                     if not cluster_node(node_id).alive or node_id in partitioned:
                         continue
-                    contribs = contributors[node_id]
+                    contribs = contributors.get(node_id, ())
                     if len(contribs) == 1:
                         # Contributors return a fresh dict per call and
                         # observers only read it during dispatch, so the

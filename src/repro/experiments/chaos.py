@@ -140,7 +140,7 @@ def run_case(
                 tier_overrides=tier_overrides,
                 # Sharded campaigns run a real federation so the
                 # shard-crash fault has partitions worth losing.
-                shards=4 if scheme == "dyrs-sharded" else 1,
+                shards=4 if scheme in ("dyrs-sharded", "dyrs-sharded-async") else 1,
             )
         )
         master = system.master

@@ -260,8 +260,9 @@ class TraceInvariants:
     def shard_violations(self) -> list[str]:
         """Sharded-master invariants (no-op on unsharded traces).
 
-        The ``shard_assign``/``shard_crash``/``shard_recover``
-        vocabulary self-certifies the partitioning contract:
+        The ``shard_assign``/``shard_crash``/``shard_recover``/
+        ``shard_dead``/``pull_leg_*`` vocabulary self-certifies the
+        partitioning contract:
 
         11. **Single ownership** -- every ``shard_assign`` names an
             outstanding pending record, and a record admitted to one
@@ -273,12 +274,24 @@ class TraceInvariants:
             a mid-run reshard (which would silently re-home records).
         13. **Monotone incarnations** -- each ``shard_recover`` bumps
             that shard's generation by exactly one.
+        14. **Window never exceeded** -- per (node, shard), open async
+            pull legs (``pull_leg_open`` minus ``pull_leg_close``)
+            never exceed the window carried on the open event.  A
+            ``slave_crash`` zeroes the node's counters: the old
+            incarnation's closes still arrive, but the new epoch opens
+            fresh legs against a fresh count.
+        15. **No routing to the dead** -- after a ``shard_dead``
+            declaration and before a matching ``shard_recover``, no
+            ``shard_assign`` may name that shard (its slice must have
+            re-homed).
         """
         found: list[str] = []
         pending: dict[str, int] = defaultdict(int)
         assigned: dict[str, int] = {}  # block -> owning shard
         n_shards: Optional[int] = None
         generations: dict[int, int] = {}
+        open_legs: dict[tuple[int, int], int] = defaultdict(int)
+        dead: set[int] = set()
         segment = 0
 
         def reset() -> None:
@@ -286,6 +299,8 @@ class TraceInvariants:
             pending.clear()
             assigned.clear()
             generations.clear()
+            open_legs.clear()
+            dead.clear()
             n_shards = None
 
         for i, event in enumerate(self.events):
@@ -306,7 +321,33 @@ class TraceInvariants:
                 if closes_pending and pending[f["block"]] > 0:
                     pending[f["block"]] -= 1
                 continue
-            if etype not in (T.SHARD_ASSIGN, T.SHARD_CRASH, T.SHARD_RECOVER):
+            if etype == T.SLAVE_CRASH:
+                node = f.get("node")
+                for key in [k for k in open_legs if k[0] == node]:
+                    del open_legs[key]
+                continue
+            if etype == T.PULL_LEG_OPEN:
+                key = (f["node"], f["shard"])
+                open_legs[key] += 1
+                window = f.get("window")
+                if window is not None and open_legs[key] > window:
+                    found.append(
+                        f"{where}: node {key[0]} has {open_legs[key]} "
+                        f"open pull legs to shard {key[1]}, window "
+                        f"{window} (outstanding budget violated)"
+                    )
+                continue
+            if etype == T.PULL_LEG_CLOSE:
+                key = (f["node"], f["shard"])
+                if open_legs[key] > 0:
+                    open_legs[key] -= 1
+                continue
+            if etype not in (
+                T.SHARD_ASSIGN,
+                T.SHARD_CRASH,
+                T.SHARD_RECOVER,
+                T.SHARD_DEAD,
+            ):
                 continue
 
             count = f.get("n_shards")
@@ -326,6 +367,12 @@ class TraceInvariants:
                 )
             if etype == T.SHARD_ASSIGN:
                 block = f["block"]
+                if shard in dead:
+                    found.append(
+                        f"{where}: block {block} assigned to shard "
+                        f"{shard} after it was declared dead "
+                        "(rebalance single-ownership violated)"
+                    )
                 if block in assigned:
                     found.append(
                         f"{where}: block {block} assigned to shard "
@@ -338,7 +385,10 @@ class TraceInvariants:
                         "outstanding pending record"
                     )
                 assigned[block] = shard
+            elif etype == T.SHARD_DEAD:
+                dead.add(shard)
             elif etype == T.SHARD_RECOVER:
+                dead.discard(shard)
                 generation = f.get("generation")
                 prior = generations.get(shard, 0)
                 if generation != prior + 1:

@@ -126,6 +126,26 @@ CONFIG_DEFAULTED = "config_defaulted"
 SHARD_ASSIGN = "shard_assign"
 SHARD_CRASH = "shard_crash"
 SHARD_RECOVER = "shard_recover"
+#: Permanent shard loss: a crashed shard stayed down past
+#: ``DyrsConfig.shard_dead_after`` and the coordinator declared it
+#: dead (``shard``, ``n_shards``, ``dead_after``).  A rendezvous
+#: router re-homes the shard's routing slice to the survivors from
+#: this moment on; the invariant checker convicts any
+#: ``shard_assign`` naming a declared-dead shard before a matching
+#: ``shard_recover``.
+SHARD_DEAD = "shard_dead"
+#: A shard-addressed heartbeat payload claimed a home shard that
+#: disagrees with ``home_shard_of(node)`` (``node``, ``claimed``,
+#: ``expected``).  The report is dropped instead of poisoning the
+#: per-shard freshness map.
+SHARD_REPORT_MISMATCH = "shard_report_mismatch"
+#: Async cross-shard pull protocol (``shard_pull_window > 1``): one
+#: per-shard RPC leg opening (``node``, ``shard``, ``window``,
+#: ``outstanding``) and landing (``node``, ``shard``).  The checker
+#: proves per-(node, shard) open legs never exceed the window carried
+#: on the open event.
+PULL_LEG_OPEN = "pull_leg_open"
+PULL_LEG_CLOSE = "pull_leg_close"
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core.master import DyrsConfig, DyrsMaster
 from repro.core.policies import MigrationPolicy
 from repro.core.records import MigrationRecord
+from repro.obs import metrics
 from repro.obs import trace as obs
 from repro.shard.router import ShardRouter
 from repro.shard.shard import MasterShard
@@ -56,7 +57,10 @@ class ShardCoordinator(DyrsMaster):
     ) -> None:
         super().__init__(namenode, config, policy)
         self._router = ShardRouter(
-            n_shards, mode=router_mode, cluster=cluster or namenode.cluster
+            n_shards,
+            mode=router_mode,
+            cluster=cluster or namenode.cluster,
+            health=self,
         )
         #: The shard count is fixed for the life of the run (the trace
         #: invariant checker convicts anything else): resharding would
@@ -64,7 +68,19 @@ class ShardCoordinator(DyrsMaster):
         self._shards = [MasterShard(i) for i in range(n_shards)]
         #: Per-shard freshness from shard-addressed heartbeat payloads
         #: (``dyrs.shard``): when a shard's *home nodes* last reported.
+        #: Reports are validated against ``home_shard_of`` before they
+        #: land (a forged or buggy tag must not refresh another shard).
         self._shard_reports: dict[int, float] = {}
+        #: Shards declared permanently lost (stayed down past
+        #: ``shard_dead_after``).  Declaration is lazy -- evaluated on
+        #: the next health query after the deadline -- and one-shot per
+        #: incarnation; ``recover_shard`` clears the entry.
+        self._shards_declared_dead: set[int] = set()
+        #: Chaos hook: per-shard extra RPC delay (seconds) applied to
+        #: that shard's leg of every pull (``delay_rpc_at(...,
+        #: shard_id=...)``).  Empty in normal operation, in which case
+        #: every pull path is byte-identical to the un-hooked code.
+        self._shard_rpc_extra: dict[int, float] = {}
 
     # -- shard topology (the public cross-shard API, lint SM203) ---------------
 
@@ -97,6 +113,81 @@ class ShardCoordinator(DyrsMaster):
         pressure is aggregated here, never read off a shard)."""
         return sum(len(shard) for shard in self._shards)
 
+    # -- shard health (feeds the rendezvous router and the gauges) --------------
+
+    def shard_staleness(self, shard_id: int) -> float:
+        """Seconds since shard ``shard_id``'s home nodes last reported.
+
+        A shard that has never reported is maximally stale
+        (``sim.now``): before the first heartbeat round every shard
+        reads equally stale, so freshness weighting cannot skew the
+        initial routing.  Exported as the
+        ``dyrs_shard_staleness_seconds`` gauge on every read so
+        collected runs see the same values the router acted on.
+        """
+        last = self._shard_reports.get(shard_id)
+        staleness = self.sim.now if last is None else self.sim.now - last
+        metrics.active_registry().gauge(
+            "dyrs_shard_staleness_seconds", shard=shard_id
+        ).set(staleness)
+        return staleness
+
+    def _shard_dead(self, shard: MasterShard) -> bool:
+        """Whether ``shard`` is declared *permanently* lost.
+
+        Lazy declaration: a crashed shard crosses the line the first
+        time a health query lands more than ``shard_dead_after``
+        seconds after its crash.  The declaration is sticky for the
+        incarnation (one ``shard_dead`` event) and is undone only by
+        ``recover_shard``.
+        """
+        if shard.alive:
+            return False
+        dead_after = self.config.shard_dead_after
+        if dead_after is None or shard.crashed_at is None:
+            return False
+        if shard.shard_id in self._shards_declared_dead:
+            return True
+        if self.sim.now - shard.crashed_at > dead_after:
+            self._shards_declared_dead.add(shard.shard_id)
+            if obs.enabled():
+                obs.emit(
+                    obs.SHARD_DEAD,
+                    self.sim.now,
+                    shard=shard.shard_id,
+                    n_shards=self.n_shards,
+                    dead_after=dead_after,
+                )
+            return True
+        return False
+
+    def routable_shards(self) -> list[int]:
+        """Shards the router may still name, in shard-id order.
+
+        A *crashed but not yet declared-dead* shard stays routable:
+        records routed to it are discarded (today's §III-C semantics),
+        preserving the outage behaviour until the permanent-loss
+        deadline actually passes.  Only a declared-dead shard loses its
+        routing slice.
+        """
+        return [
+            shard.shard_id for shard in self._shards if not self._shard_dead(shard)
+        ]
+
+    def shard_weight(self, shard_id: int) -> float:
+        """Rendezvous weight: fresh shards pull full slices.
+
+        A shard whose home nodes have been silent past the NameNode's
+        failure-detection horizon (``heartbeat_interval x
+        heartbeat_miss_limit``) is de-weighted to half a slice -- load
+        awareness without flapping, since the threshold matches the
+        detector the rest of the system already trusts.
+        """
+        horizon = (
+            self.config.heartbeat_interval * self.namenode.heartbeat_miss_limit
+        )
+        return 0.5 if self.shard_staleness(shard_id) > horizon else 1.0
+
     # -- heartbeats (shard-addressed payloads) ---------------------------------
 
     def attach_heartbeats(self, service: "HeartbeatService") -> None:
@@ -108,9 +199,25 @@ class ShardCoordinator(DyrsMaster):
 
     def on_heartbeat(self, report: "HeartbeatReport") -> None:
         super().on_heartbeat(report)
-        shard_id = report.payload.get("dyrs.shard")
-        if shard_id is not None:
-            self._shard_reports[shard_id] = report.time
+        claimed = report.payload.get("dyrs.shard")
+        if claimed is None:
+            return
+        # The home shard is a pure function of the node id, so the
+        # self-reported tag is redundant -- which makes it checkable.
+        # A mismatched claim (stale contributor, forged payload) is
+        # dropped rather than refreshing the wrong shard's staleness.
+        expected = self.home_shard_of(report.node_id)
+        if claimed != expected:
+            if obs.enabled():
+                obs.emit(
+                    obs.SHARD_REPORT_MISMATCH,
+                    report.time,
+                    node=report.node_id,
+                    claimed=claimed,
+                    expected=expected,
+                )
+            return
+        self._shard_reports[expected] = report.time
 
     # -- routing ----------------------------------------------------------------
 
@@ -135,7 +242,16 @@ class ShardCoordinator(DyrsMaster):
         self.retarget()
 
     def _on_record_discarded(self, record: MigrationRecord) -> None:
-        # Routing is deterministic and total, so the owner is
+        if self._router.mode == "rendezvous":
+            # Rendezvous verdicts are time-varying (weights and the
+            # routable set move with shard health), so the shard that
+            # admitted this record may no longer be the shard the
+            # router would name.  ``forget`` is a keyed no-op on every
+            # non-owner, so sweeping all shards is safe and exact.
+            for shard in self._shards:
+                shard.forget(record.block_id)
+            return
+        # Block/rack routing is time-invariant, so the owner is
         # recomputed, never looked up -- a record can never be filed
         # under a shard the router would not name today.
         self._shards[self._router.shard_of(record.block)].forget(record.block_id)
@@ -198,7 +314,10 @@ class ShardCoordinator(DyrsMaster):
             if not shard.alive:
                 continue
             granted.extend(shard.take(node_id, remaining, self.policy, self.sim.now))
-        self._record_grant(node_id, granted)
+        if granted:
+            # Guarded like the flat master: an empty grant must be a
+            # strict no-op (no load-view churn, no phantom accounting).
+            self._record_grant(node_id, granted)
         return granted
 
     def pull_service_seconds(self, node_id: int) -> float:
@@ -208,12 +327,94 @@ class ShardCoordinator(DyrsMaster):
         in parallel: the pull waits for the *slowest* shard -- linear
         in the largest shard-local map, not in the global total.  This
         is the control-plane win the shard sweep measures.
+
+        A shard-targeted RPC delay (chaos) extends the combined pull by
+        the worst live-shard extra: the synchronous rotation cannot
+        return until its slowest shard leg does.  The term is zero with
+        no injections, keeping the path byte-identical.
         """
+        cost = self.config.pull_service_cost
+        extras = self._shard_rpc_extra
+        extra = 0.0
+        if extras:
+            extra = max(
+                (extras.get(s.shard_id, 0.0) for s in self._shards if s.alive),
+                default=0.0,
+            )
+        if not cost:
+            return extra
+        depths = [len(shard) for shard in self._shards if shard.alive]
+        return cost * max(depths, default=0) + extra
+
+    # -- the async pull protocol (shard_pull_window > 1) ---------------------------
+
+    def pull_plan(self, node_id: int) -> list[tuple[int, int]]:
+        """The shards a pull from ``node_id`` should open legs to.
+
+        Live shards in the same rotation order the synchronous pull
+        walks (home shard first), each paired with its current
+        generation so a leg that lands after a crash/recover cycle can
+        be fenced out (the shard-level analogue of the slave epoch).
+        """
+        n = self.n_shards
+        start = self.home_shard_of(node_id)
+        plan: list[tuple[int, int]] = []
+        for offset in range(n):
+            shard = self._shards[(start + offset) % n]
+            if shard.alive:
+                plan.append((shard.shard_id, shard.generation))
+        return plan
+
+    def bind_from_shard(
+        self, shard_id: int, generation: int, node_id: int, max_blocks: int
+    ) -> list[MigrationRecord]:
+        """The bind half of one async pull leg, generation-fenced.
+
+        Returns nothing when the budget is gone, the coordinator or
+        shard is down, or the leg was planned against a previous shard
+        incarnation -- a stale leg must not bind from a shard it never
+        talked to.  Grants go through the same accounting as the
+        synchronous path.
+        """
+        if max_blocks <= 0 or not self.alive:
+            return []
+        shard = self._shards[shard_id]
+        if not shard.alive or shard.generation != generation:
+            return []
+        granted = shard.take(node_id, max_blocks, self.policy, self.sim.now)
+        if granted:
+            self._record_grant(node_id, granted)
+        return granted
+
+    def shard_pull_service_seconds(self, shard_id: int) -> float:
+        """Service time of one shard's leg: linear in *that* shard's
+        pending map only (a dead shard costs nothing -- its leg binds
+        nothing)."""
         cost = self.config.pull_service_cost
         if not cost:
             return 0.0
-        depths = [len(shard) for shard in self._shards if shard.alive]
-        return cost * max(depths, default=0)
+        shard = self._shards[shard_id]
+        return cost * len(shard) if shard.alive else 0.0
+
+    def shard_rpc_extra(self, shard_id: int) -> float:
+        """Extra outbound delay (chaos) on this shard's pull legs."""
+        return self._shard_rpc_extra.get(shard_id, 0.0)
+
+    def add_shard_rpc_delay(self, shard_id: int, extra: float) -> None:
+        """Injector hook: slow every pull leg to ``shard_id``."""
+        self._shard_rpc_extra[shard_id] = (
+            self._shard_rpc_extra.get(shard_id, 0.0) + extra
+        )
+
+    def clear_shard_rpc_delay(self, shard_id: int, extra: float) -> None:
+        """Injector hook: undo a matching ``add_shard_rpc_delay``."""
+        remaining = max(0.0, self._shard_rpc_extra.get(shard_id, 0.0) - extra)
+        if remaining:
+            self._shard_rpc_extra[shard_id] = remaining
+        else:
+            # Drop the key entirely: an empty dict is the marker that
+            # restores the byte-identical no-chaos pull paths.
+            self._shard_rpc_extra.pop(shard_id, None)
 
     # -- teardown / failover -------------------------------------------------------
 
@@ -239,6 +440,9 @@ class ShardCoordinator(DyrsMaster):
                 n_shards=self.n_shards,
             )
         shard.alive = False
+        # Start the permanent-loss clock: staying down past
+        # ``shard_dead_after`` re-homes this shard's routing slice.
+        shard.crashed_at = self.sim.now
         for record in shard.drain():
             self.discard(record, reason="shard-crash")
 
@@ -255,6 +459,9 @@ class ShardCoordinator(DyrsMaster):
             return
         replacement = MasterShard(shard_id, generation=old.generation + 1)
         self._shards[shard_id] = replacement
+        # A fresh incarnation is healthy: undo any permanent-loss
+        # declaration so the shard's routing slice comes home.
+        self._shards_declared_dead.discard(shard_id)
         if obs.enabled():
             obs.emit(
                 obs.SHARD_RECOVER,

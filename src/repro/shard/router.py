@@ -1,21 +1,45 @@
 """Deterministic record -> shard routing.
 
-The router is a pure function of the block (and, in rack mode, of the
-static cluster topology): no RNG, no load feedback, no state.  That
-determinism is what makes the sharded master replayable and lets the
-coordinator recompute a record's owner at any time -- ownership never
-has to be stored per record, so it can never go stale.
+The router is a pure function of the block and of explicitly named
+inputs (the static cluster topology in rack mode; the coordinator's
+shard-health view in rendezvous mode): no RNG, no wall clock, no
+hidden state.  That determinism is what makes the sharded master
+replayable and lets the coordinator recompute a record's owner at any
+time -- ownership never has to be stored per record, so it can never
+go stale.  Rendezvous routing *is* time-varying (health changes), so
+the coordinator's discard path treats it specially (forget-everywhere
+instead of recompute); see ``ShardCoordinator._on_record_discarded``.
 """
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.topology import Cluster
     from repro.dfs.block import Block
+    from repro.shard.coordinator import ShardCoordinator
 
 __all__ = ["ShardRouter"]
+
+_MASK64 = (1 << 64) - 1
+#: Odd 64-bit constant separating the block and shard coordinates
+#: before mixing (golden-ratio increment, as in splitmix64 streams).
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a seeded, salt-free 64-bit avalanche.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED),
+    so rendezvous scores built on it would break replay; this mix is a
+    pure integer function.
+    """
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
 
 
 class ShardRouter:
@@ -35,15 +59,25 @@ class ShardRouter:
         map co-locates with the uplink it contends for; on the paper's
         single-rack testbed it degenerates to shard 0, so it requires
         ``n_racks > 1`` to be meaningful (but is still valid).
+    ``rendezvous``
+        Weighted rendezvous (highest-random-weight) hashing over the
+        shards the ``health`` provider still routes to, weighted by
+        shard freshness.  Load-aware without losing determinism: the
+        verdict is a pure function of (block id, routable shard set,
+        per-shard weights), all explicit simulation state.  A shard
+        declared permanently dead leaves the candidate set, so its
+        routing slice re-homes to the survivors with minimal churn --
+        the HRW property: only the dead shard's blocks move.
     """
 
-    MODES = ("block", "rack")
+    MODES = ("block", "rack", "rendezvous")
 
     def __init__(
         self,
         n_shards: int,
         mode: str = "block",
         cluster: Optional["Cluster"] = None,
+        health: Optional["ShardCoordinator"] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -51,13 +85,49 @@ class ShardRouter:
             raise ValueError(f"router mode must be one of {self.MODES}, got {mode!r}")
         if mode == "rack" and cluster is None:
             raise ValueError("rack-affinity routing requires a cluster")
+        if mode == "rendezvous" and health is None:
+            raise ValueError(
+                "rendezvous routing requires a health provider "
+                "(routable_shards/shard_weight)"
+            )
         self.n_shards = n_shards
         self.mode = mode
         self.cluster = cluster
+        self.health = health
 
     def shard_of(self, block: "Block") -> int:
         """The owning shard of ``block`` -- total, deterministic."""
         if self.mode == "rack":
             primary = min(block.replica_nodes)
             return self.cluster.rack_of(primary) % self.n_shards
+        if self.mode == "rendezvous":
+            return self._rendezvous(block.block_id)
         return block.block_id % self.n_shards
+
+    def _rendezvous(self, block_id: int) -> int:
+        """Weighted HRW over the currently routable shards.
+
+        Score per shard: ``weight / -ln(u)`` with ``u`` drawn from the
+        splitmix64 mix of (block, shard) -- the standard weighted-
+        rendezvous construction, so a shard with weight w receives a
+        w-proportional slice of the key space.  Strict ``>`` breaks
+        (measure-zero) ties toward the earliest candidate, keeping the
+        verdict order-stable.
+        """
+        candidates = self.health.routable_shards()
+        if not candidates:
+            # Every shard declared dead: routing must stay total, so
+            # fall back to the block stripe; the coordinator discards
+            # what lands on a dead shard (the §III-C semantics).
+            return block_id % self.n_shards
+        best = candidates[0]
+        best_score = -1.0
+        for shard_id in candidates:
+            h = _mix64(block_id * _GOLDEN + shard_id)
+            # Map to (0, 1) strictly -- u = 1 would zero the log.
+            u = ((h >> 11) + 0.5) / float(1 << 53)
+            score = self.health.shard_weight(shard_id) / -math.log(u)
+            if score > best_score:
+                best = shard_id
+                best_score = score
+        return best

@@ -34,6 +34,12 @@ Three schemes are extensions beyond the paper:
     state partitioned across ``SystemConfig.shards`` master shards
     behind a coordinator.  At ``shards=1`` (the default) it is
     byte-identical to ``"dyrs"``.
+``"dyrs-sharded-async"``
+    The sharded scheme with the asynchronous cross-shard pull: each
+    slave pull opens detached per-shard RPC legs bounded by
+    ``DyrsConfig.shard_pull_window`` (default: the shard count)
+    instead of one synchronous rotation.  At ``shard_pull_window=1``
+    it is byte-identical to ``"dyrs-sharded"``.
 
 Each scheme is one :class:`SchemeSpec` entry in :data:`SCHEME_REGISTRY`
 -- the master factory plus the wiring flags that used to live in
@@ -180,10 +186,18 @@ SCHEME_REGISTRY: dict[str, SchemeSpec] = {
             default_devices=("ssd", "archive"),
         ),
         SchemeSpec("dyrs-sharded", build_master=_build_sharded),
+        # Same federation, but the pull protocol defaults to the async
+        # per-shard window (``shard_pull_window`` resolves to the shard
+        # count instead of 1); all other wiring is identical.
+        SchemeSpec("dyrs-sharded-async", build_master=_build_sharded),
     )
 }
 
 SCHEMES = tuple(SCHEME_REGISTRY)
+
+#: Schemes that stand up the federated master (and may therefore set
+#: ``shards`` and a pull window above 1).
+_SHARDED_SCHEMES = ("dyrs-sharded", "dyrs-sharded-async")
 
 
 @dataclass(frozen=True)
@@ -200,12 +214,14 @@ class SystemConfig:
     #: Delay-scheduling locality wait for the task scheduler (seconds;
     #: 0 = strict capacity scheduler, the calibrated default).
     locality_delay: float = 0.0
-    #: Master shard count for ``dyrs-sharded`` (ignored means invalid:
-    #: any other scheme must leave it at 1).  The count is fixed for
-    #: the life of the run.
+    #: Master shard count for the sharded schemes (ignored means
+    #: invalid: any other scheme must leave it at 1).  The count is
+    #: fixed for the life of the run.
     shards: int = 1
-    #: Record -> shard routing mode for ``dyrs-sharded``: ``"block"``
-    #: (hash-by-block) or ``"rack"`` (rack-affine).
+    #: Record -> shard routing mode for the sharded schemes:
+    #: ``"block"`` (hash-by-block), ``"rack"`` (rack-affine) or
+    #: ``"rendezvous"`` (weighted HRW over live shards, re-homing the
+    #: slice of a shard declared permanently dead).
     shard_router: str = "block"
 
     def __post_init__(self) -> None:
@@ -213,14 +229,15 @@ class SystemConfig:
             raise ValueError(f"unknown scheme {self.scheme!r}; choose from {SCHEMES}")
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
-        if self.shards != 1 and self.scheme != "dyrs-sharded":
+        if self.shards != 1 and self.scheme not in _SHARDED_SCHEMES:
             raise ValueError(
-                f"shards={self.shards} requires scheme 'dyrs-sharded', "
-                f"got {self.scheme!r}"
+                f"shards={self.shards} requires a sharded scheme "
+                f"{_SHARDED_SCHEMES}, got {self.scheme!r}"
             )
-        if self.shard_router not in ("block", "rack"):
+        if self.shard_router not in ("block", "rack", "rendezvous"):
             raise ValueError(
-                f"shard_router must be 'block' or 'rack', got {self.shard_router!r}"
+                "shard_router must be 'block', 'rack' or 'rendezvous', "
+                f"got {self.shard_router!r}"
             )
         if self.replication < 1:
             raise ValueError(f"replication must be >= 1, got {self.replication}")
@@ -231,6 +248,24 @@ class SystemConfig:
             # the DFS block size automatically.
             object.__setattr__(
                 self, "dyrs", replace(self.dyrs, reference_block_size=self.block_size)
+            )
+        if self.dyrs.shard_pull_window is None:
+            # Resolve the scheme default: the async scheme opens one
+            # windowed leg stream per shard; everything else keeps the
+            # synchronous combined-RPC pull (window 1 IS that code
+            # path, byte-identical).  An *explicit* window survives
+            # resolution, so ``dyrs-sharded-async`` at window 1 can be
+            # pinned against stock ``dyrs-sharded``.
+            window = (
+                max(2, self.shards) if self.scheme == "dyrs-sharded-async" else 1
+            )
+            object.__setattr__(
+                self, "dyrs", replace(self.dyrs, shard_pull_window=window)
+            )
+        elif self.dyrs.shard_pull_window > 1 and self.scheme not in _SHARDED_SCHEMES:
+            raise ValueError(
+                f"shard_pull_window={self.dyrs.shard_pull_window} requires a "
+                f"sharded scheme {_SHARDED_SCHEMES}, got {self.scheme!r}"
             )
 
     @property

@@ -172,6 +172,25 @@ class TestHeartbeatsAndFailure:
         assert reports0
         assert reports0[-1].payload == {"est": 1.5, "queued": 2}
 
+    def test_contributor_for_node_registered_after_construction(
+        self, namenode, cluster
+    ):
+        """Regression: the contributors map snapshotted
+        ``namenode.datanodes`` at construction, so ``add_contributor``
+        for a node registered *after* the service was built raised
+        KeyError and its payloads were unreachable."""
+        late = namenode.datanodes.pop(3)
+        service = HeartbeatService(namenode)
+        namenode.datanodes[3] = late
+        service.add_contributor(3, lambda: {"est": 2.5})  # raised KeyError
+        seen = []
+        namenode.add_heartbeat_observer(lambda r: seen.append(r))
+        service.start()
+        cluster.sim.run(until=namenode.heartbeat_interval * 2 + 0.1)
+        reports3 = [r for r in seen if r.node_id == 3]
+        assert reports3
+        assert reports3[-1].payload == {"est": 2.5}
+
     def test_node_memory_drop(self, namenode, client):
         entry = client.create_file("f", 128 * MB)
         b0, b1 = entry.blocks[0], entry.blocks[1]

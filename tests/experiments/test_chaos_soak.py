@@ -23,10 +23,17 @@ PAIRS = [
     ("dyrs-lifecycle", "swim"),
     ("dyrs-lifecycle", "aging"),
     # The sharded federation runs at shards=4 (see chaos.run_case) so
-    # the shard-crash fault kind has partitions to lose and the
-    # per-shard failover path gets soaked alongside everything else.
+    # the shard-crash/shard-loss fault kinds have partitions to lose
+    # and the per-shard failover path gets soaked alongside everything
+    # else.
     ("dyrs-sharded", "sort"),
     ("dyrs-sharded", "swim"),
+    # The async scheme resolves shard_pull_window to the shard count,
+    # soaking the detached per-shard legs (window accounting, epoch/
+    # generation fencing, undelivered-grant rescue) under every fault
+    # kind, audited by the same invariants plus the window check.
+    ("dyrs-sharded-async", "sort"),
+    ("dyrs-sharded-async", "swim"),
 ]
 
 

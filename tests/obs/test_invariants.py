@@ -242,3 +242,118 @@ class TestCheckAll:
         t.emit(T.BIND, 1.0, block=1, node=0)
         path = t.dump_jsonl(tmp_path / "t.jsonl")
         assert len(TraceInvariants.from_jsonl(path).violations()) == 1
+
+
+def _shard_check(*specs):
+    t = Tracer()
+    for etype, time, fields in specs:
+        t.emit(etype, time, **fields)
+    return TraceInvariants(t.events).shard_violations()
+
+
+class TestPullWindowInvariant:
+    """Check 14: per-(node, shard) open legs never exceed the window."""
+
+    def test_legs_within_window_pass(self):
+        assert (
+            _shard_check(
+                (T.PULL_LEG_OPEN, 0.0,
+                 {"node": 0, "shard": 1, "window": 2, "outstanding": 1}),
+                (T.PULL_LEG_OPEN, 0.1,
+                 {"node": 0, "shard": 1, "window": 2, "outstanding": 2}),
+                (T.PULL_LEG_CLOSE, 0.5, {"node": 0, "shard": 1}),
+                (T.PULL_LEG_OPEN, 0.6,
+                 {"node": 0, "shard": 1, "window": 2, "outstanding": 2}),
+                (T.PULL_LEG_CLOSE, 0.9, {"node": 0, "shard": 1}),
+                (T.PULL_LEG_CLOSE, 1.0, {"node": 0, "shard": 1}),
+            )
+            == []
+        )
+
+    def test_overflow_convicted(self):
+        v = _shard_check(
+            (T.PULL_LEG_OPEN, 0.0,
+             {"node": 0, "shard": 1, "window": 1, "outstanding": 1}),
+            (T.PULL_LEG_OPEN, 0.1,
+             {"node": 0, "shard": 1, "window": 1, "outstanding": 2}),
+        )
+        assert len(v) == 1
+        assert "outstanding budget violated" in v[0]
+
+    def test_budget_is_per_node_and_shard(self):
+        # One leg each to two shards, and to the same shard from two
+        # nodes: four distinct counters, none over a window of 1.
+        assert (
+            _shard_check(
+                (T.PULL_LEG_OPEN, 0.0,
+                 {"node": 0, "shard": 1, "window": 1, "outstanding": 1}),
+                (T.PULL_LEG_OPEN, 0.1,
+                 {"node": 0, "shard": 2, "window": 1, "outstanding": 1}),
+                (T.PULL_LEG_OPEN, 0.2,
+                 {"node": 3, "shard": 1, "window": 1, "outstanding": 1}),
+                (T.PULL_LEG_OPEN, 0.3,
+                 {"node": 3, "shard": 2, "window": 1, "outstanding": 1}),
+            )
+            == []
+        )
+
+    def test_slave_crash_zeroes_the_node_counters(self):
+        # The crashed incarnation's leg never closes; the new epoch's
+        # open must count against a fresh budget, not the stale one.
+        assert (
+            _shard_check(
+                (T.PULL_LEG_OPEN, 0.0,
+                 {"node": 0, "shard": 1, "window": 1, "outstanding": 1}),
+                (T.SLAVE_CRASH, 0.5, {"node": 0}),
+                (T.PULL_LEG_OPEN, 1.0,
+                 {"node": 0, "shard": 1, "window": 1, "outstanding": 1}),
+            )
+            == []
+        )
+
+    def test_crash_of_another_node_does_not_reset(self):
+        v = _shard_check(
+            (T.PULL_LEG_OPEN, 0.0,
+             {"node": 0, "shard": 1, "window": 1, "outstanding": 1}),
+            (T.SLAVE_CRASH, 0.5, {"node": 3}),
+            (T.PULL_LEG_OPEN, 1.0,
+             {"node": 0, "shard": 1, "window": 1, "outstanding": 2}),
+        )
+        assert len(v) == 1
+
+
+class TestDeadShardAssignInvariant:
+    """Check 15: no shard_assign to a declared-dead shard."""
+
+    def test_assign_after_declaration_convicted(self):
+        v = _shard_check(
+            (T.PENDING, 0.0, {"block": 7}),
+            (T.SHARD_DEAD, 1.0, {"shard": 2, "n_shards": 4, "dead_after": 5.0}),
+            (T.SHARD_ASSIGN, 2.0, {"block": 7, "shard": 2, "n_shards": 4}),
+        )
+        assert len(v) == 1
+        assert "after it was declared dead" in v[0]
+
+    def test_assign_to_survivor_passes(self):
+        assert (
+            _shard_check(
+                (T.PENDING, 0.0, {"block": 7}),
+                (T.SHARD_DEAD, 1.0,
+                 {"shard": 2, "n_shards": 4, "dead_after": 5.0}),
+                (T.SHARD_ASSIGN, 2.0, {"block": 7, "shard": 3, "n_shards": 4}),
+            )
+            == []
+        )
+
+    def test_recover_lifts_the_conviction(self):
+        assert (
+            _shard_check(
+                (T.PENDING, 0.0, {"block": 7}),
+                (T.SHARD_DEAD, 1.0,
+                 {"shard": 2, "n_shards": 4, "dead_after": 5.0}),
+                (T.SHARD_RECOVER, 3.0,
+                 {"shard": 2, "n_shards": 4, "generation": 1}),
+                (T.SHARD_ASSIGN, 4.0, {"block": 7, "shard": 2, "n_shards": 4}),
+            )
+            == []
+        )

@@ -20,6 +20,7 @@ SCHEMES = (
     "dyrs-tiered",
     "dyrs-lifecycle",
     "dyrs-sharded",  # 4-way partitioned master; also the shard checks
+    "dyrs-sharded-async",  # detached pull legs; adds the window check
     "ignem",
     "naive",
     "instant",
@@ -56,7 +57,7 @@ WORKLOADS = {
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_trace_invariants_hold(scheme, workload):
     interference, drive = WORKLOADS[workload]
-    shards = 4 if scheme == "dyrs-sharded" else 1
+    shards = 4 if scheme.startswith("dyrs-sharded") else 1
     with tracing() as tracer:
         system = build_system(
             PaperSetup(

@@ -1,0 +1,208 @@
+"""The async cross-shard pull: pins, window accounting, isolation.
+
+Two anchors hold the protocol to the ground truth:
+
+* **byte-identity at window 1** -- ``shard_pull_window=1`` selects the
+  synchronous combined-RPC rotation (the same code path, not an
+  emulation), so ``dyrs-sharded-async`` pinned to window 1 must replay
+  stock ``dyrs-sharded`` exactly, on sort and on the SWIM mix;
+* **isolation at window > 1** -- a chaos delay on one shard's legs
+  must leave the other shards' legs landing inside the delayed leg's
+  open interval, which is the whole point of detaching them.
+"""
+
+from repro.core import DyrsConfig
+from repro.core.failures import FailureInjector
+from repro.experiments.common import PaperSetup, build_system
+from repro.obs import trace as obs
+from repro.obs.invariants import TraceInvariants
+from repro.system import SystemConfig
+from repro.units import GB, MB
+from repro.workloads.sort import sort_job
+from repro.workloads.swim import generate_swim_workload, materialize_swim_jobs
+
+
+def _record_tuples(master):
+    return [
+        (
+            r.block_id,
+            r.status.name,
+            r.target_node,
+            r.bound_node,
+            r.requested_at,
+            r.bound_at,
+            r.started_at,
+            r.completed_at,
+        )
+        for r in master.record_log
+    ]
+
+
+def _sort_logs(scheme, overrides=None):
+    system = build_system(
+        PaperSetup(
+            scheme=scheme,
+            seed=11,
+            interference="alt-10s-1",
+            shards=4,
+            dyrs_overrides=overrides or {},
+        )
+    )
+    job = sort_job(system, size=6 * GB, job_id="s", extra_lead_time=20.0)
+    system.runtime.run_to_completion([job])
+    return _record_tuples(system.master), list(system.master.binding_log), system.sim.now
+
+
+def _swim_logs(scheme, overrides=None):
+    system = build_system(
+        PaperSetup(scheme=scheme, seed=7, shards=4, dyrs_overrides=overrides or {})
+    )
+    descriptors = generate_swim_workload(
+        system.cluster.rngs.stream("swim"),
+        n_jobs=30,
+        total_input=12 * GB,
+        max_input=4 * GB,
+        small_fraction=0.75,
+        mean_interarrival=4.0,
+    )
+    jobs = materialize_swim_jobs(system, descriptors)
+    system.runtime.run_to_completion(jobs)
+    return _record_tuples(system.master), list(system.master.binding_log), system.sim.now
+
+
+class TestWindowOneByteIdentity:
+    def test_sort_identical_to_stock_sharded(self):
+        stock = _sort_logs("dyrs-sharded")
+        pinned = _sort_logs("dyrs-sharded-async", {"shard_pull_window": 1})
+        assert pinned == stock
+
+    def test_swim_identical_to_stock_sharded(self):
+        stock = _swim_logs("dyrs-sharded")
+        pinned = _swim_logs("dyrs-sharded-async", {"shard_pull_window": 1})
+        assert pinned == stock
+
+    def test_explicit_window_one_on_stock_sharded_is_inert(self):
+        stock = _sort_logs("dyrs-sharded")
+        explicit = _sort_logs("dyrs-sharded", {"shard_pull_window": 1})
+        assert explicit == stock
+
+
+class TestWindowResolution:
+    def test_async_scheme_defaults_to_shard_count(self):
+        config = SystemConfig(scheme="dyrs-sharded-async", shards=4)
+        assert config.dyrs.shard_pull_window == 4
+
+    def test_stock_schemes_default_to_one(self):
+        assert SystemConfig(scheme="dyrs-sharded", shards=4).dyrs.shard_pull_window == 1
+        assert SystemConfig(scheme="dyrs").dyrs.shard_pull_window == 1
+
+    def test_explicit_window_survives_resolution(self):
+        config = SystemConfig(
+            scheme="dyrs-sharded-async",
+            shards=4,
+            dyrs=DyrsConfig(shard_pull_window=2),
+        )
+        assert config.dyrs.shard_pull_window == 2
+
+    def test_wide_window_requires_sharded_scheme(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SystemConfig(scheme="dyrs", dyrs=DyrsConfig(shard_pull_window=3))
+
+    def test_window_validated_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DyrsConfig(shard_pull_window=0)
+        with pytest.raises(ValueError):
+            DyrsConfig(shard_dead_after=0.0)
+
+
+def _run_async_sort(overrides, arm=None):
+    """One traced async-scheme sort; returns the tracer's events."""
+    with obs.tracing() as tracer:
+        system = build_system(
+            PaperSetup(
+                scheme="dyrs-sharded-async",
+                seed=0,
+                interference="none",
+                block_size=16 * MB,
+                shards=4,
+                dyrs_overrides=overrides,
+            )
+        )
+        if arm is not None:
+            arm(system)
+        job = sort_job(system, size=2 * GB, job_id="async-sort")
+        system.runtime.run_to_completion([job])
+        system.sim.run(until=system.sim.now + 60.0)
+    return tracer.events
+
+
+class TestAsyncProtocol:
+    OVERRIDES = {
+        "pull_service_cost": 0.02,
+        "queue_depth": 4,
+        "rpc_timeout": 1.0,
+        "rpc_max_retries": 2,
+        "rpc_backoff_base": 0.1,
+    }
+
+    def test_legs_open_close_and_respect_window(self):
+        events = _run_async_sort(self.OVERRIDES)
+        opens = [e for e in events if e.type == obs.PULL_LEG_OPEN]
+        closes = [e for e in events if e.type == obs.PULL_LEG_CLOSE]
+        assert opens and closes
+        assert all(e.fields["window"] == 4 for e in opens)
+        assert all(1 <= e.fields["outstanding"] <= 4 for e in opens)
+        # Every opened leg eventually lands.
+        assert len(opens) == len(closes)
+        checker = TraceInvariants(events)
+        assert checker.violations() == []
+        assert checker.shard_violations() == []
+
+    def test_delayed_shard_leg_does_not_stall_the_others(self):
+        """The isolation property, stated on the trace: while the
+        delayed shard's leg interval is open on some node, another
+        shard's leg *on the same node* opens and lands inside it."""
+
+        def arm(system):
+            injector = FailureInjector(system.cluster, master=system.master)
+            injector.delay_rpc_at(
+                0.5, node_id=0, extra=3.0, clear_after=55.0, shard_id=2
+            )
+
+        events = _run_async_sort(self.OVERRIDES, arm=arm)
+        checker = TraceInvariants(events)
+        assert checker.violations() == []
+        assert checker.shard_violations() == []
+
+        # Pair each shard-2 open with its close, per node (window legs
+        # to one shard land in FIFO order -- identical delays).
+        slow_intervals = []
+        open_stack: dict[int, list[float]] = {}
+        for e in events:
+            if e.type == obs.PULL_LEG_OPEN and e.fields["shard"] == 2:
+                open_stack.setdefault(e.fields["node"], []).append(e.time)
+            elif e.type == obs.PULL_LEG_CLOSE and e.fields["shard"] == 2:
+                stack = open_stack.get(e.fields["node"])
+                if stack:
+                    slow_intervals.append((e.fields["node"], stack.pop(0), e.time))
+        # The delay actually bit: some shard-2 leg took >= the 3s spike.
+        slow = [(n, a, b) for n, a, b in slow_intervals if b - a >= 3.0]
+        assert slow, slow_intervals
+        overlapped = False
+        for node, t_open, t_close in slow:
+            for e in events:
+                if (
+                    e.type == obs.PULL_LEG_CLOSE
+                    and e.fields["node"] == node
+                    and e.fields["shard"] != 2
+                    and t_open < e.time < t_close
+                ):
+                    overlapped = True
+                    break
+            if overlapped:
+                break
+        assert overlapped, "no other-shard leg landed inside a delayed interval"

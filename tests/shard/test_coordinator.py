@@ -2,6 +2,10 @@
 
 import pytest
 
+from repro.core import DyrsConfig
+from repro.dfs.namenode import HeartbeatReport
+from repro.obs import trace as obs
+from repro.obs.metrics import collecting
 from repro.system import System, SystemConfig
 from repro.units import MB
 
@@ -69,6 +73,140 @@ class TestPullProtocol:
         rig.sim.run(until=15)
         assert rig.master._shard_reports
         assert set(rig.master._shard_reports) <= set(range(4))
+
+
+class TestShardReports:
+    """The freshness map is validated input, not trust-the-wire."""
+
+    def test_valid_claim_refreshes_home_shard(self, shard_rig):
+        rig = shard_rig
+        rig.sim.run(until=3)
+        rig.master.on_heartbeat(
+            HeartbeatReport(node_id=1, time=rig.sim.now, payload={"dyrs.shard": 1})
+        )
+        assert rig.master._shard_reports[1] == rig.sim.now
+        assert rig.master.shard_staleness(1) == 0.0
+
+    def test_mismatched_claim_dropped_and_traced(self, shard_rig):
+        rig = shard_rig
+        with obs.tracing() as tracer:
+            rig.master.on_heartbeat(
+                HeartbeatReport(node_id=1, time=2.0, payload={"dyrs.shard": 3})
+            )
+        # Node 1's home shard is 1: the forged tag must not refresh
+        # shard 3 (or anything else).
+        assert rig.master._shard_reports == {}
+        mismatches = tracer.of_type(obs.SHARD_REPORT_MISMATCH)
+        assert len(mismatches) == 1
+        assert mismatches[0].fields == {"node": 1, "claimed": 3, "expected": 1}
+
+    def test_wire_payloads_pass_validation(self, shard_rig):
+        """The real contributor's claims always match, so the fix does
+        not silence legitimate freshness tracking."""
+        rig = shard_rig
+        with obs.tracing() as tracer:
+            rig.sim.run(until=15)
+        assert set(rig.master._shard_reports) == set(range(4))
+        assert not tracer.of_type(obs.SHARD_REPORT_MISMATCH)
+
+    def test_staleness_is_max_before_first_report(self, shard_rig):
+        rig = shard_rig
+        rig.sim.run(until=2)
+        # No heartbeat interval has elapsed... but even so, a shard
+        # that never reported reads as stale as the run is old.
+        assert rig.master.shard_staleness(3) <= rig.sim.now
+
+    def test_staleness_exported_as_gauge(self, shard_rig):
+        rig = shard_rig
+        rig.sim.run(until=15)
+        with collecting() as registry:
+            value = rig.master.shard_staleness(2)
+            assert registry.gauge(
+                "dyrs_shard_staleness_seconds", shard=2
+            ).value == value
+
+
+class TestEmptyGrantGuard:
+    """An empty grant must be a strict no-op on both master shapes."""
+
+    @pytest.fixture(params=["dyrs", "dyrs-sharded"])
+    def master(self, request):
+        shards = 4 if request.param == "dyrs-sharded" else 1
+        system = System(
+            SystemConfig(scheme=request.param, shards=shards)
+        ).start()
+        return system.master
+
+    def test_empty_pull_leaves_no_trace(self, master):
+        load_before = master._loads[0]
+        with obs.tracing() as tracer:
+            granted = master.request_work(0, 8)
+        assert granted == []
+        assert master.binding_log == []
+        assert not tracer.of_type(obs.BIND)
+        assert master._loads[0] == load_before
+
+    def test_record_grant_of_nothing_is_noop(self, master):
+        with obs.tracing() as tracer:
+            master._record_grant(0, [])
+        assert master.binding_log == []
+        assert not tracer.of_type(obs.BIND)
+
+
+class TestPermanentLoss:
+    """shard_dead_after: declaration, rebalance, and recovery."""
+
+    @pytest.fixture
+    def rig(self, make_shard_rig):
+        return make_shard_rig(
+            router_mode="rendezvous",
+            config=DyrsConfig(
+                reference_block_size=64 * MB, shard_dead_after=5.0
+            ),
+        )
+
+    def test_crashed_shard_stays_routable_until_deadline(self, rig):
+        rig.sim.run(until=1)
+        rig.master.crash_shard(2)
+        rig.sim.run(until=3)  # 2s down < 5s deadline
+        assert rig.master.routable_shards() == [0, 1, 2, 3]
+
+    def test_declaration_rehomes_and_traces_once(self, rig):
+        rig.sim.run(until=1)
+        rig.master.crash_shard(2)
+        rig.sim.run(until=10)  # well past the deadline
+        with obs.tracing() as tracer:
+            assert rig.master.routable_shards() == [0, 1, 3]
+            assert rig.master.routable_shards() == [0, 1, 3]
+        # Sticky declaration: one shard_dead, not one per query.
+        dead = tracer.of_type(obs.SHARD_DEAD)
+        assert len(dead) == 1
+        assert dead[0].fields["shard"] == 2
+        assert dead[0].fields["dead_after"] == 5.0
+
+    def test_new_records_route_to_survivors(self, rig):
+        rig.sim.run(until=1)
+        rig.master.crash_shard(2)
+        rig.sim.run(until=10)
+        rig.client.create_file("a", 12 * 64 * MB)
+        rig.master.migrate(["a"], job_id="j1")
+        assert rig.master.shard_pending_count(2) == 0
+        assert rig.master.pending_count > 0
+
+    def test_recover_returns_the_slice(self, rig):
+        rig.sim.run(until=1)
+        rig.master.crash_shard(2)
+        rig.sim.run(until=10)
+        assert rig.master.routable_shards() == [0, 1, 3]
+        rig.master.recover_shard(2)
+        assert rig.master.routable_shards() == [0, 1, 2, 3]
+
+    def test_without_dead_after_crash_never_declares(self, make_shard_rig):
+        rig = make_shard_rig(router_mode="rendezvous")
+        rig.sim.run(until=1)
+        rig.master.crash_shard(2)
+        rig.sim.run(until=500)
+        assert rig.master.routable_shards() == [0, 1, 2, 3]
 
 
 class TestSystemWiring:

@@ -50,6 +50,65 @@ class TestBlockMode:
         assert {router.shard_of(block(i)) for i in range(50)} == {0}
 
 
+class FakeHealth:
+    """Stand-in health provider for router-only rendezvous tests."""
+
+    def __init__(self, shards, weights=None):
+        self.shards = list(shards)
+        self.weights = dict(weights or {})
+
+    def routable_shards(self):
+        return list(self.shards)
+
+    def shard_weight(self, shard_id):
+        return self.weights.get(shard_id, 1.0)
+
+
+class TestRendezvousMode:
+    def test_requires_health_provider(self):
+        with pytest.raises(ValueError):
+            ShardRouter(4, mode="rendezvous")
+
+    def test_total_and_deterministic(self):
+        router = ShardRouter(4, mode="rendezvous", health=FakeHealth(range(4)))
+        first = [router.shard_of(block(i)) for i in range(400)]
+        second = [router.shard_of(block(i)) for i in range(400)]
+        assert first == second
+        assert all(0 <= shard < 4 for shard in first)
+        # HRW over equal weights spreads roughly evenly.
+        for shard in range(4):
+            assert first.count(shard) > 400 // 4 // 2
+
+    def test_dead_shard_rehomes_with_minimal_churn(self):
+        health = FakeHealth(range(4))
+        router = ShardRouter(4, mode="rendezvous", health=health)
+        before = {i: router.shard_of(block(i)) for i in range(400)}
+        health.shards = [0, 1, 3]  # shard 2 declared dead
+        after = {i: router.shard_of(block(i)) for i in range(400)}
+        # The HRW property: only the dead shard's slice moves.
+        for i, owner in before.items():
+            if owner == 2:
+                assert after[i] in (0, 1, 3)
+            else:
+                assert after[i] == owner
+
+    def test_weights_shift_share(self):
+        even = ShardRouter(4, mode="rendezvous", health=FakeHealth(range(4)))
+        skewed = ShardRouter(
+            4, mode="rendezvous", health=FakeHealth(range(4), weights={2: 0.5})
+        )
+        even_share = [even.shard_of(block(i)) for i in range(600)].count(2)
+        skewed_share = [skewed.shard_of(block(i)) for i in range(600)].count(2)
+        # Half weight -> roughly half the key-space slice.
+        assert skewed_share < even_share
+
+    def test_all_dead_falls_back_to_block_stripe(self):
+        router = ShardRouter(4, mode="rendezvous", health=FakeHealth([]))
+        assert [router.shard_of(block(i)) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+
 class TestRackMode:
     def test_routes_by_primary_replica_rack(self):
         cluster = Cluster(ClusterSpec(n_workers=4, n_racks=2, seed=1))
