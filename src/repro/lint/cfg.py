@@ -1,0 +1,228 @@
+"""Per-function control-flow graphs with yield points as barriers.
+
+The sim-race rules (:mod:`repro.lint.rules.simrace`) reason about what
+other cooperative processes may have done *between* two program points
+of one generator: every ``yield`` hands the engine to an arbitrary
+peer, so state captured before a yield is suspect after it.  That is a
+flow question, not an expression-local one, and this module supplies
+the flow layer: a statement-granularity CFG per function, with the
+statements that contain a ``yield``/``yield from`` marked as **barrier
+nodes**.
+
+Shape
+-----
+
+One :class:`CFGNode` per AST statement (compound statements contribute
+one node for their header -- the ``if``/``while`` test, the ``for``
+iterable -- plus nodes for their bodies), linked by successor edges:
+
+* ``if``/``while``/``for`` branch to body and else/join;
+* loops carry back edges from body exits to the header;
+* ``break``/``continue`` jump to the loop join/header;
+* ``return``/``raise`` fall off the graph (edge to the virtual exit);
+* ``try`` bodies get may-edges into every handler (an exception can
+  surface at any statement), handlers and ``finally`` rejoin after.
+
+The graph is deliberately conservative where Python is dynamic: extra
+edges (a handler that cannot actually trigger) can only make the
+downstream analyses report *less* (a guard on the extra path counts),
+never crash them.
+
+Yields inside nested ``def``/``lambda`` bodies belong to the nested
+function, not this one, so barrier detection does not descend into
+them (:func:`contains_yield`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "contains_yield"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: AST nodes that open a new scope: a yield inside one suspends *that*
+#: function, not the one being analyzed.
+_NEW_SCOPE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function scopes."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if not isinstance(child, _NEW_SCOPE):
+                stack.append(child)
+
+
+def contains_yield(node: ast.AST) -> bool:
+    """Whether ``node`` suspends the *enclosing* function when executed.
+
+    A ``def``/``lambda`` statement never suspends the function defining
+    it -- its yields belong to the nested scope -- so a root that is
+    itself a new scope contains no yields *of the enclosing function*.
+    """
+    if isinstance(node, _NEW_SCOPE):
+        return False
+    return any(
+        isinstance(inner, (ast.Yield, ast.YieldFrom))
+        for inner in _walk_same_scope(node)
+    )
+
+
+@dataclass
+class CFGNode:
+    """One statement (or compound-statement header) in the graph."""
+
+    #: The underlying statement.  For compound statements this node
+    #: models the *header* evaluation (test / iterable); the body
+    #: statements get their own nodes.
+    stmt: ast.stmt
+    index: int
+    #: Successor node indices (``CFG.EXIT`` for the virtual exit).
+    succs: set[int] = field(default_factory=set)
+    #: Whether executing this statement crosses a ``yield`` suspension.
+    is_barrier: bool = False
+
+    @property
+    def line(self) -> int:
+        return self.stmt.lineno
+
+    @property
+    def col(self) -> int:
+        return self.stmt.col_offset
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    #: Virtual exit index used in ``succs`` for return/fall-off edges.
+    EXIT = -1
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self._loop_stack: list[tuple[set[int], set[int]]] = []  # (breaks, continues)
+        frontier = self._build_seq(func.body, frozenset())
+        for index in frontier:
+            self.nodes[index].succs.add(self.EXIT)
+        self.entry: Optional[int] = 0 if self.nodes else None
+
+    # -- construction --------------------------------------------------
+
+    def _new_node(self, stmt: ast.stmt, frontier: frozenset[int]) -> int:
+        node = CFGNode(stmt=stmt, index=len(self.nodes))
+        self.nodes.append(node)
+        for pred in frontier:
+            self.nodes[pred].succs.add(node.index)
+        return node.index
+
+    def _build_seq(
+        self, stmts: list[ast.stmt], frontier: frozenset[int]
+    ) -> frozenset[int]:
+        for stmt in stmts:
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    def _build_stmt(
+        self, stmt: ast.stmt, frontier: frozenset[int]
+    ) -> frozenset[int]:
+        if isinstance(stmt, (ast.If,)):
+            header = self._new_node(stmt, frontier)
+            body_exits = self._build_seq(stmt.body, frozenset({header}))
+            else_exits = self._build_seq(stmt.orelse, frozenset({header}))
+            if not stmt.orelse:
+                else_exits = frozenset({header})
+            return body_exits | else_exits
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._new_node(stmt, frontier)
+            self._loop_stack.append((set(), set()))
+            body_exits = self._build_seq(stmt.body, frozenset({header}))
+            breaks, continues = self._loop_stack.pop()
+            # Back edges: end of body (and every continue) re-runs the header.
+            for index in body_exits | continues:
+                self.nodes[index].succs.add(header)
+            # Loop exit: the header test failing / iterable exhausting,
+            # plus every break.  ``else`` clauses run on normal exit.
+            exits = frozenset({header}) | breaks
+            if stmt.orelse:
+                exits = self._build_seq(stmt.orelse, exits)
+            return exits
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            before = len(self.nodes)
+            body_exits = self._build_seq(stmt.body, frontier)
+            body_nodes = frozenset(range(before, len(self.nodes)))
+            exits = body_exits
+            for handler in stmt.handlers:
+                # An exception may surface before any body statement
+                # completes: handlers are reachable from the pre-try
+                # frontier and from every body node.
+                exits |= self._build_seq(handler.body, frontier | body_nodes)
+            if stmt.orelse:
+                exits = (exits - body_exits) | self._build_seq(
+                    stmt.orelse, body_exits
+                )
+            if stmt.finalbody:
+                exits = self._build_seq(stmt.finalbody, exits)
+            return exits
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = self._new_node(stmt, frontier)
+            return self._build_seq(stmt.body, frozenset({header}))
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            index = self._new_node(stmt, frontier)
+            self.nodes[index].succs.add(self.EXIT)
+            return frozenset()
+        if isinstance(stmt, ast.Break):
+            index = self._new_node(stmt, frontier)
+            if self._loop_stack:
+                self._loop_stack[-1][0].add(index)
+            return frozenset()
+        if isinstance(stmt, ast.Continue):
+            index = self._new_node(stmt, frontier)
+            if self._loop_stack:
+                self._loop_stack[-1][1].add(index)
+            return frozenset()
+        # Simple statement: one node, falls through.
+        return frozenset({self._new_node(stmt, frontier)})
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def barriers(self) -> list[int]:
+        """Indices of yield-crossing nodes, in statement order."""
+        return [node.index for node in self.nodes if node.is_barrier]
+
+    def successors(self, index: int) -> set[int]:
+        return self.nodes[index].succs
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the CFG for one function and mark its barrier nodes.
+
+    A node is a barrier when executing its statement crosses a yield:
+    ``yield``/``yield from`` expression statements, assignments whose
+    right-hand side yields (``x = yield e``, ``x = yield from f()``),
+    and compound-statement headers whose test/iterable yields.  For
+    compound headers only the *header* expression is examined -- a
+    yield in the body belongs to the body statement's own node.
+    """
+    cfg = CFG(func)
+    for node in cfg.nodes:
+        stmt = node.stmt
+        if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+            node.is_barrier = contains_yield(stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            node.is_barrier = contains_yield(stmt.iter)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node.is_barrier = any(
+                contains_yield(item.context_expr) for item in stmt.items
+            )
+        elif isinstance(stmt, (ast.Try,)):
+            node.is_barrier = False
+        else:
+            node.is_barrier = contains_yield(stmt)
+    return cfg

@@ -4,6 +4,7 @@ Examples::
 
     dyrs-lint src/repro                     # human output, exit 1 on findings
     dyrs-lint src/repro --format json       # machine-readable report
+    dyrs-lint src/repro --format sarif      # SARIF 2.1.0 for PR annotations
     dyrs-lint src/repro --select SIM101,VT402
     dyrs-lint --list-rules
 
@@ -45,7 +46,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -82,6 +83,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        print(json.dumps(to_sarif(report), indent=2, sort_keys=True))
     else:
         for error in report.errors:
             print(f"error: {error}")

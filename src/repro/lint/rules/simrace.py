@@ -1,0 +1,259 @@
+"""Sim-race rules: check-then-yield-then-act staleness, statically.
+
+Every headline failure-path bug fixed by hand so far was one bug
+class: state captured before a simulation ``yield``, then trusted
+after it, when any other cooperative process may have run in between
+-- the PR 4 demotion-to-a-dead-slave race, the PR 9 frozen heartbeat
+snapshot, the epoch/generation fence gaps in the async pull protocol.
+These rules convict that class at lint time, on the CFG/dataflow
+layer of :mod:`repro.lint.cfg` / :mod:`repro.lint.dataflow`:
+
+* **SIM501 stale-read-across-yield** -- a value derived from shared
+  mutable protocol state (:data:`~repro.lint.dataflow.
+  PROTOCOL_STATE_ATTRS`) is read before a yield barrier and used
+  after it without being re-read and without a recognized
+  revalidation guard (epoch/generation compare, ``alive`` check,
+  status re-check -- :data:`~repro.lint.dataflow.GUARD_TOKENS`)
+  between the barrier and the use.
+* **SIM502 unfenced-actuation** -- a mutation of ledger/shard state
+  reached across a yield with no revalidation guard anywhere between
+  the suspension and the write: the mutation acts on a world the
+  function last observed before handing the engine to its peers.
+* **SIM503 snapshot-at-construction** -- ``__init__`` captures a
+  *copy* of a registry (an attribute some ``add_*``/``register*``
+  method mutates) into the new object: every entity registered after
+  construction is invisible forever.  The exact PR 9 heartbeat bug,
+  generalized; the fix idiom is lazy lookup against the live
+  registry.
+
+Functions are selected by the one-level may-yield summary
+(:func:`~repro.lint.dataflow.may_yield_functions`): direct yields,
+``yield from`` callees, and ``sim.process(...)`` spawns all count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.cfg import FunctionNode, build_cfg
+from repro.lint.dataflow import (
+    MUTATOR_METHODS,
+    may_yield_functions,
+    protocol_mutation,
+    protocol_reads,
+    stale_paths,
+    tainted_defs,
+    unguarded_from_entry,
+)
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+from repro.lint.runner import ModuleContext, Project
+
+#: Method-name prefixes that mark a registration method (SIM503).
+_REGISTRATION_PREFIXES = ("add_", "register", "subscribe")
+
+#: Builtins that materialize a point-in-time copy of their argument.
+_SNAPSHOT_BUILTINS = {"dict", "list", "set", "tuple", "sorted", "frozenset"}
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _in_lint_package(parts: tuple[str, ...]) -> bool:
+    return any(pair == ("repro", "lint") for pair in zip(parts, parts[1:]))
+
+
+class _SimRaceRule(Rule):
+    """Shared scoping: everywhere simulated processes live, except the
+    lint package itself (it analyzes generators, it does not run any)."""
+
+    def applies_to(self, parts: tuple[str, ...]) -> bool:
+        return not _in_lint_package(parts)
+
+
+@register
+class StaleReadAcrossYieldRule(_SimRaceRule):
+    id = "SIM501"
+    name = "stale-read-across-yield"
+    description = "values captured from protocol state are re-validated after yields"
+    hint = (
+        "re-read the value from its source after the yield, or guard "
+        "the use with a recognized revalidation (epoch/generation "
+        "compare, `alive`/`is_available` check, record status "
+        "re-check) between the yield and the use"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        summary = may_yield_functions(ctx.tree)
+        reported: set[tuple[int, int, str]] = set()
+        for func in _functions(ctx.tree):
+            if not summary.get(func.name):
+                continue
+            cfg = build_cfg(func)
+            if not cfg.barriers:
+                continue
+            for definition in tainted_defs(cfg):
+                for path in stale_paths(cfg, definition):
+                    node = cfg.nodes[path.use_index]
+                    key = (node.line, node.col, definition.name)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield self.diagnostic(
+                        ctx.path,
+                        node.line,
+                        node.col,
+                        f"`{definition.name}` (captured from "
+                        f"`{definition.source}` on line "
+                        f"{cfg.nodes[definition.node_index].line}) may be "
+                        f"stale: the yield on line {path.barrier_line} let "
+                        "other processes run and no revalidation guard "
+                        "dominates this use",
+                    )
+
+
+@register
+class UnfencedActuationRule(_SimRaceRule):
+    id = "SIM502"
+    name = "unfenced-actuation"
+    description = "post-yield protocol-state mutations sit behind a fence check"
+    hint = (
+        "check the captured epoch/generation (or `alive`/status) "
+        "between the yield and the mutation so a crash-restart cycle "
+        "during the suspension cannot be actuated against"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        summary = may_yield_functions(ctx.tree)
+        for func in _functions(ctx.tree):
+            if not summary.get(func.name):
+                continue
+            cfg = build_cfg(func)
+            if not cfg.barriers:
+                continue
+            for index, barrier_line in sorted(unguarded_from_entry(cfg).items()):
+                node = cfg.nodes[index]
+                attr = protocol_mutation(node.stmt)
+                if attr is None:
+                    continue
+                yield self.diagnostic(
+                    ctx.path,
+                    node.line,
+                    node.col,
+                    f"mutation of `{attr}` after the yield on line "
+                    f"{barrier_line} is unfenced: no epoch/generation/"
+                    "liveness check ran since the suspension",
+                )
+
+
+def _registration_attrs(project: Project) -> set[str]:
+    """Attributes mutated by registration methods, project-wide.
+
+    A registry is any ``self.<attr>`` container that a method named
+    ``add_*``/``register*``/``subscribe*`` (in *any* linted module)
+    mutates in place -- those methods being callable after
+    construction is what makes a constructor-time copy a frozen
+    snapshot.
+    """
+    attrs: set[str] = set()
+    for ctx in project.modules:
+        for func in _functions(ctx.tree):
+            if not func.name.startswith(_REGISTRATION_PREFIXES):
+                continue
+            for node in ast.walk(func):
+                target: ast.AST | None = None
+                if isinstance(node, (ast.Subscript, ast.Attribute)) and isinstance(
+                    getattr(node, "ctx", None), (ast.Store, ast.Del)
+                ):
+                    target = node
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS
+                ):
+                    target = node.func.value
+                if target is None:
+                    continue
+                for inner in ast.walk(target):
+                    if (
+                        isinstance(inner, ast.Attribute)
+                        and isinstance(inner.value, ast.Name)
+                        and inner.value.id == "self"
+                    ):
+                        attrs.add(inner.attr)
+    return attrs
+
+
+def _snapshot_source(value: ast.expr, registries: frozenset[str]) -> str | None:
+    """The registry attribute ``value`` copies, if it is a snapshot.
+
+    Snapshots are materialized copies: ``dict(x.reg)``/``list(...)``
+    -style builtin calls, comprehensions iterating the registry, and
+    ``x.reg.copy()``.  A plain alias (``self.reg = other.reg``) stays
+    legal -- it tracks the live registry.
+    """
+    candidates: list[ast.expr] = []
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in _SNAPSHOT_BUILTINS
+    ):
+        candidates.extend(value.args)
+    elif (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "copy"
+    ):
+        candidates.append(value.func.value)
+    elif isinstance(value, _COMPREHENSIONS):
+        candidates.extend(gen.iter for gen in value.generators)
+    for candidate in candidates:
+        for attr in protocol_reads(candidate, registries):
+            return attr
+    return None
+
+
+@register
+class SnapshotAtConstructionRule(_SimRaceRule):
+    id = "SIM503"
+    name = "snapshot-at-construction"
+    description = "constructors do not freeze copies of live registries"
+    hint = (
+        "look the registry up lazily (or subscribe to it) instead of "
+        "copying it in __init__: anything registered after "
+        "construction is invisible to a frozen snapshot"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        registries = frozenset(_registration_attrs(project))
+        if not registries:
+            return
+        for ctx in project.modules:
+            if _in_lint_package(ctx.parts):
+                continue
+            for func in _functions(ctx.tree):
+                if func.name != "__init__":
+                    continue
+                for stmt in ast.walk(func):
+                    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    value = stmt.value
+                    if value is None:
+                        continue
+                    source = _snapshot_source(value, registries)
+                    if source is None:
+                        continue
+                    yield self.diagnostic(
+                        ctx.path,
+                        value.lineno,
+                        value.col_offset,
+                        f"__init__ freezes a copy of registry `{source}`: "
+                        "entries registered after construction will never "
+                        "be seen (the PR 9 heartbeat-snapshot bug class)",
+                    )

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 export for ``dyrs-lint`` reports.
+
+SARIF is the interchange format code-scanning UIs understand: a CI
+step uploading ``dyrs-lint --format sarif`` output gets every finding
+annotated inline on the pull request, at the exact file/line/column
+the diagnostic names.  The export is deliberately minimal -- one run,
+one driver, the registered rule battery as ``rules`` metadata, one
+``result`` per visible diagnostic -- and carries the same content as
+the JSON report (suppressed findings are never exported).
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import all_rules
+from repro.lint.runner import LintReport
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(report: LintReport) -> dict:
+    """Render a :class:`LintReport` as a SARIF 2.1.0 log dict."""
+    rules_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "help": {"text": rule.hint},
+        }
+        for rule in all_rules()
+    ]
+    rule_index = {meta["id"]: i for i, meta in enumerate(rules_meta)}
+    results = [
+        {
+            "ruleId": diag.rule,
+            "ruleIndex": rule_index.get(diag.rule, -1),
+            "level": "error",
+            "message": {"text": f"{diag.message} [hint: {diag.hint}]"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.path},
+                        "region": {
+                            "startLine": diag.line,
+                            # SARIF columns are 1-based; AST columns 0-based.
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for diag in report.diagnostics
+    ]
+    for error in report.errors:
+        results.append(
+            {
+                "ruleId": "E000",
+                "level": "error",
+                "message": {"text": f"unparsable file: {error}"},
+                "locations": [],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "dyrs-lint",
+                        "informationUri": "https://example.invalid/dyrs-lint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

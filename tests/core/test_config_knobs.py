@@ -1,0 +1,92 @@
+"""Every ``DyrsConfig`` knob's validation bounds, exercised.
+
+CFG601 (``unvalidated-knob``) requires each configuration knob to be
+referenced by at least one test; the ``__post_init__`` bounds are the
+cheapest behavior every knob owns, so this suite pins all of them --
+one accepted edge value and one rejected out-of-domain value per
+field -- plus the unknown-name rejection of the three ``use_*``
+registry hooks.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.base import use_ledger_scan
+from repro.core.master import DyrsConfig
+from repro.core.targeting import use_targeting_kernel
+from repro.dfs.heartbeat import use_heartbeat_mode
+
+
+def make(**overrides):
+    return DyrsConfig(**overrides)
+
+
+class TestFieldBounds:
+    @pytest.mark.parametrize(
+        "field,good,bad",
+        [
+            ("ewma_alpha", 1.0, 0.0),
+            ("ewma_alpha", 0.4, 1.5),
+            ("retarget_interval", 0.5, 0.0),
+            ("heartbeat_interval", 2.0, -1.0),
+            ("queue_depth", 1, 0),
+            ("rpc_latency", 0.0, -0.01),
+            ("gc_threshold", 1.0, 0.0),
+            ("gc_threshold", 0.9, 1.1),
+            ("reference_block_size", 1.0, 0.0),
+            ("rpc_timeout", 0.5, 0.0),
+            ("rpc_max_retries", 0, -1),
+            ("rpc_backoff_base", 0.0, -0.1),
+            ("rpc_backoff_factor", 1.0, 0.99),
+            ("pull_service_cost", 0.0, -1.0),
+            ("idle_pull", "notify", "busywait"),
+            ("shard_pull_window", 1, 0),
+            ("shard_dead_after", 30.0, 0.0),
+        ],
+    )
+    def test_bound(self, field, good, bad):
+        assert getattr(make(**{field: good}), field) == good
+        with pytest.raises(ValueError, match=field):
+            make(**{field: bad})
+
+    @pytest.mark.parametrize(
+        "field", ["queue_depth", "memory_limit", "rpc_timeout",
+                  "shard_pull_window", "shard_dead_after"]
+    )
+    def test_none_means_disabled(self, field):
+        assert getattr(make(**{field: None}), field) is None
+
+    def test_memory_limit_and_estimator_refresh_pass_through(self):
+        # memory_limit has no lower bound (any float caps migrated
+        # bytes); estimator_refresh is a plain ablation toggle.
+        assert make(memory_limit=64.0).memory_limit == 64.0
+        assert make(estimator_refresh=False).estimator_refresh is False
+        assert make().estimator_refresh is True
+
+    def test_every_field_is_pinned_here(self):
+        # If a field is added to DyrsConfig without a bound test above,
+        # fail loudly (and CFG601 would flag it too).
+        pinned = {
+            "ewma_alpha", "retarget_interval", "heartbeat_interval",
+            "queue_depth", "rpc_latency", "memory_limit", "gc_threshold",
+            "reference_block_size", "estimator_refresh", "rpc_timeout",
+            "rpc_max_retries", "rpc_backoff_base", "rpc_backoff_factor",
+            "pull_service_cost", "idle_pull", "shard_pull_window",
+            "shard_dead_after",
+        }
+        actual = {f.name for f in dataclasses.fields(DyrsConfig)}
+        assert actual == pinned
+
+
+class TestRegistryHooks:
+    def test_unknown_names_are_rejected(self):
+        with pytest.raises(ValueError, match="ledger scan"):
+            with use_ledger_scan("nope"):
+                pass
+        with pytest.raises(ValueError, match="targeting kernel"):
+            with use_targeting_kernel("nope"):
+                pass
+        with pytest.raises(ValueError, match="heartbeat mode"):
+            with use_heartbeat_mode("nope"):
+                pass

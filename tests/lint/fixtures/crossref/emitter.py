@@ -1,0 +1,19 @@
+"""Deliberate OBS302 violations: undeclared events, plus the resolved
+``etype`` conditional idiom and declared events as negatives."""
+
+from repro.obs import trace as obs
+
+
+class Probe:
+    def granted(self, sim):
+        obs.emit(obs.PULL_GRANT, sim.now)  # legal: declared constant
+
+    def read(self, sim, hit):
+        etype = obs.READ_SSD if hit else obs.READ_DISK
+        obs.emit(etype, sim.now)  # legal: both branches declared
+
+    def undeclared_attr(self, sim):
+        obs.emit(obs.PULL_DENIED, sim.now)  # no such vocabulary entry
+
+    def undeclared_literal(self, sim):
+        obs.emit("surprise_event", sim.now)  # literal not in the vocabulary

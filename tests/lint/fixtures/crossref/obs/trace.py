@@ -1,0 +1,10 @@
+"""Miniature trace vocabulary for the OBS302 fixture tree."""
+
+PULL_GRANT = "pull_grant"
+READ_SSD = "read_ssd"
+READ_DISK = "read_disk"
+DEAD_EVENT = "dead_event"
+
+
+def emit(etype, time, **fields):
+    del etype, time, fields

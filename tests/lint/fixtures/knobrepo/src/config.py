@@ -1,0 +1,22 @@
+"""Miniature config surface for the CFG601 fixture tree."""
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DyrsConfig:
+    good_knob: float = 1.0
+    bad_knob: int = 0
+
+
+@contextmanager
+def use_good_hook(mode):
+    del mode
+    yield
+
+
+@contextmanager
+def use_orphan_hook(mode):
+    del mode
+    yield

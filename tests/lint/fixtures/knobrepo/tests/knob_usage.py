@@ -1,0 +1,7 @@
+"""References good_knob and use_good_hook so CFG601 sees them tested.
+
+(Not named ``test_*.py`` -- pytest must not collect fixture trees.)
+"""
+
+GOOD = "good_knob"
+HOOK = "use_good_hook"

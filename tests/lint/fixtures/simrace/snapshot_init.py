@@ -1,0 +1,40 @@
+"""Deliberate SIM503 violations: the PR 9 frozen-heartbeat-snapshot
+bug reconstructed, plus the lazy-map and live-alias fixes as
+negatives.  ``register_datanode``/``add_contributor`` make
+``datanodes``/``_contributors`` registries."""
+
+
+class NameNodeStub:
+    def __init__(self):
+        self.datanodes = {}
+        self._contributors = {}
+
+    def register_datanode(self, node_id, datanode):
+        self.datanodes[node_id] = datanode
+
+    def add_contributor(self, node_id, fn):
+        self._contributors.setdefault(node_id, []).append(fn)
+
+
+class FrozenHeartbeatService:
+    def __init__(self, namenode):
+        # The PR 9 bug: nodes registered later never get a slot.
+        self._contributors = {nid: [] for nid in namenode.datanodes}
+
+
+class CopyingService:
+    def __init__(self, namenode):
+        self._nodes = list(namenode.datanodes)  # frozen list snapshot
+        self._by_id = dict(namenode.datanodes)  # frozen dict snapshot
+        self._view = namenode.datanodes.copy()  # .copy() snapshot
+
+
+class LazyHeartbeatService:
+    def __init__(self, namenode):
+        self.namenode = namenode
+        self._contributors = {}  # legal: filled lazily per report
+
+
+class AliasingService:
+    def __init__(self, namenode):
+        self._nodes = namenode.datanodes  # legal: tracks the live registry

@@ -1,0 +1,54 @@
+"""Deliberate SIM501 violations: the PR 4 demote-to-a-dead-slave race,
+minimized, plus the sanctioned fixes (guard, re-read) as negatives."""
+
+
+class DemotingMaster:
+    def _demote_loop(self):
+        while True:
+            slave = self.slaves[self._pick_victim()]
+            yield self.sim.timeout(self.interval)
+            slave.datanode.ssd_store(self.block)  # stale: slave may have died
+
+    def _demote_loop_guarded(self):
+        while True:
+            slave = self.slaves[self._pick_victim()]
+            yield self.sim.timeout(self.interval)
+            if slave is None or not slave.alive:
+                continue
+            slave.datanode.ssd_store(self.block)  # legal: liveness re-checked
+
+    def _demote_loop_reread(self):
+        victim = self._pick_victim()
+        yield self.sim.timeout(self.interval)
+        slave = self.slaves[victim]  # legal: re-read after the yield
+        slave.datanode.ssd_store(self.block)
+
+    def _guard_before_second_yield_proves_nothing(self):
+        slave = self.slaves[self._pick_victim()]
+        yield self.sim.timeout(self.interval)
+        if not slave.alive:
+            return
+        yield self.sim.timeout(self.interval)
+        slave.datanode.ssd_store(self.block)  # stale again: second suspension
+
+    def _records_walk(self):
+        for record in list(self._records.values()):
+            yield self.sim.timeout(0.1)
+            record.mark_done(self.sim.now)  # stale: record may be terminal
+
+    def _records_walk_guarded(self):
+        for record in list(self._records.values()):
+            yield self.sim.timeout(0.1)
+            if record.status.is_terminal:
+                continue
+            record.mark_done(self.sim.now)  # legal: status re-checked
+
+    def _use_before_yield_is_fresh(self):
+        slave = self.slaves[self._pick_victim()]
+        slave.datanode.prepare(self.block)  # legal: no suspension yet
+        yield self.sim.timeout(self.interval)
+
+    def _delegating(self):
+        slave = self.slaves[self._pick_victim()]
+        yield from self._demote_loop_guarded()
+        slave.datanode.ssd_store(self.block)  # stale: yield-from suspended us

@@ -1,0 +1,25 @@
+"""Deliberate SIM502 violations: protocol-state mutations reached
+across a yield with no fence, plus the epoch-fenced negative."""
+
+
+class AsyncActor:
+    def _expire_loop(self):
+        while True:
+            yield self.sim.timeout(1.0)
+            self._pending.pop(self.block_id, None)  # unfenced actuation
+
+    def _expire_loop_fenced(self):
+        epoch = self._epoch
+        while True:
+            yield self.sim.timeout(1.0)
+            if self._epoch != epoch:
+                return
+            self._pending.pop(self.block_id, None)  # legal: epoch fence held
+
+    def _assign_after_wait(self):
+        yield self.sim.timeout(1.0)
+        self._records[self.block_id] = self.make_record()  # unfenced store
+
+    def _mutate_before_yield_is_fine(self):
+        self._pending.pop(self.block_id, None)  # legal: no suspension yet
+        yield self.sim.timeout(1.0)

@@ -1,0 +1,378 @@
+"""Unit suite for the CFG/dataflow layer on synthetic functions."""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import CFG, build_cfg, contains_yield
+from repro.lint.dataflow import (
+    TaintedDef,
+    may_yield_functions,
+    names_read,
+    names_written,
+    protocol_mutation,
+    stale_paths,
+    tainted_defs,
+    unguarded_from_entry,
+)
+
+
+def parse(source):
+    # Strip the leading blank line of triple-quoted sources so the
+    # first statement sits on line 1, making line assertions readable.
+    return ast.parse(textwrap.dedent(source).lstrip("\n"))
+
+
+def func_cfg(source, name=None):
+    tree = parse(source)
+    funcs = [
+        node for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    ]
+    func = funcs[0] if name is None else next(
+        f for f in funcs if f.name == name
+    )
+    return build_cfg(func)
+
+
+def succs(cfg):
+    return {node.index: sorted(node.succs) for node in cfg.nodes}
+
+
+class TestGraphShape:
+    def test_linear_chain(self):
+        cfg = func_cfg(
+            """
+            def f():
+                a = 1
+                b = a
+                return b
+            """
+        )
+        assert succs(cfg) == {0: [1], 1: [2], 2: [CFG.EXIT]}
+        assert cfg.entry == 0
+
+    def test_if_without_else_joins_at_header(self):
+        cfg = func_cfg(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                b = 2
+            """
+        )
+        # 0=if header, 1=a=1, 2=b=2; the false edge skips the body.
+        assert succs(cfg) == {0: [1, 2], 1: [2], 2: [CFG.EXIT]}
+
+    def test_while_back_edge_and_exit(self):
+        cfg = func_cfg(
+            """
+            def f(x):
+                while x:
+                    x = g(x)
+                done()
+            """
+        )
+        assert succs(cfg) == {0: [1, 2], 1: [0], 2: [CFG.EXIT]}
+
+    def test_break_jumps_to_loop_join(self):
+        cfg = func_cfg(
+            """
+            def f(x):
+                while True:
+                    if x:
+                        break
+                    step()
+                done()
+            """
+        )
+        # 0=while, 1=if, 2=break, 3=step, 4=done.
+        assert succs(cfg) == {
+            0: [1, 4],
+            1: [2, 3],
+            2: [4],
+            3: [0],
+            4: [CFG.EXIT],
+        }
+
+    def test_continue_re_runs_the_header(self):
+        cfg = func_cfg(
+            """
+            def f(x):
+                for item in x:
+                    if item:
+                        continue
+                    use(item)
+            """
+        )
+        # 0=for, 1=if, 2=continue, 3=use.
+        assert succs(cfg) == {0: [CFG.EXIT, 1], 1: [2, 3], 2: [0], 3: [0]}
+
+    def test_try_handlers_reachable_from_every_body_node(self):
+        cfg = func_cfg(
+            """
+            def f():
+                try:
+                    a = g()
+                except KeyError:
+                    a = None
+                use(a)
+            """
+        )
+        # 0=a=g(), 1=handler a=None, 2=use: the exception may surface
+        # mid-body, so the handler is a may-successor of the body.
+        assert succs(cfg) == {0: [1, 2], 1: [2], 2: [CFG.EXIT]}
+
+    def test_return_falls_off_the_graph(self):
+        cfg = func_cfg(
+            """
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """
+        )
+        assert succs(cfg) == {0: [1, 2], 1: [CFG.EXIT], 2: [CFG.EXIT]}
+
+
+class TestBarriers:
+    def test_yield_statements_and_headers_are_barriers(self):
+        cfg = func_cfg(
+            """
+            def f(self):
+                x = yield self.ping()
+                while (yield self.wait()):
+                    pass
+                return x
+            """
+        )
+        flags = [node.is_barrier for node in cfg.nodes]
+        assert flags == [True, True, False, False]
+
+    def test_yield_from_is_a_barrier(self):
+        cfg = func_cfg(
+            """
+            def f(self):
+                yield from self.helper()
+                act()
+            """
+        )
+        assert [node.is_barrier for node in cfg.nodes] == [True, False]
+
+    def test_nested_def_yields_are_not_this_functions_barriers(self):
+        cfg = func_cfg(
+            """
+            def f(self):
+                def inner():
+                    yield 1
+                return inner
+            """,
+            name="f",
+        )
+        assert not any(node.is_barrier for node in cfg.nodes)
+        assert not contains_yield(parse("def inner():\n    pass").body[0])
+
+
+class TestReadWrite:
+    def test_for_header_owns_only_its_own_expressions(self):
+        stmt = parse(
+            """
+            for record in self._records.values():
+                record.mark()
+            """
+        ).body[0]
+        assert names_written(stmt) == {"record"}
+        # The body's read of ``record`` belongs to the body node.
+        assert "record" not in names_read(stmt)
+
+    def test_walrus_counts_as_a_write(self):
+        stmt = parse("if (x := probe()):\n    pass").body[0]
+        assert "x" in names_written(stmt)
+
+
+SETUP = """
+def demote(self):
+    slave = self.slaves[0]
+    yield self.sim.timeout(1)
+    {tail}
+"""
+
+
+def paths_of(source, name="demote"):
+    cfg = func_cfg(source, name=name)
+    defs = tainted_defs(cfg)
+    assert defs, "fixture must produce a tainted definition"
+    out = []
+    for definition in defs:
+        out.extend(stale_paths(cfg, definition))
+    return cfg, out
+
+
+class TestStalePaths:
+    def test_use_after_unguarded_yield_is_a_finding(self):
+        cfg, paths = paths_of(SETUP.format(tail="slave.store(1)"))
+        assert [(p.use_index, p.barrier_line) for p in paths] == [(2, 3)]
+
+    def test_recognized_guard_absolves_the_use(self):
+        cfg, paths = paths_of(
+            """
+            def demote(self):
+                slave = self.slaves[0]
+                yield self.sim.timeout(1)
+                if not slave.alive:
+                    return
+                slave.store(1)
+            """
+        )
+        assert paths == []
+
+    def test_guard_before_a_second_yield_is_reset(self):
+        cfg, paths = paths_of(
+            """
+            def demote(self):
+                slave = self.slaves[0]
+                yield self.sim.timeout(1)
+                if not slave.alive:
+                    return
+                yield self.sim.timeout(1)
+                slave.store(1)
+            """
+        )
+        assert [(cfg.nodes[p.use_index].line, p.barrier_line) for p in paths] == [
+            (7, 6)
+        ]
+
+    def test_rebinding_kills_the_path_but_its_own_read_still_reports(self):
+        cfg, paths = paths_of(
+            """
+            def demote(self):
+                slave = self.slaves[0]
+                yield self.sim.timeout(1)
+                slave = refresh(slave)
+                slave.store(1)
+            """
+        )
+        # ``refresh(slave)`` reads the stale value; the use after the
+        # rebind is clean.
+        assert [cfg.nodes[p.use_index].line for p in paths] == [4]
+
+    def test_re_read_from_source_is_clean(self):
+        cfg = func_cfg(
+            """
+            def demote(self):
+                slave = self.slaves[0]
+                yield self.sim.timeout(1)
+                slave = self.slaves[0]
+                slave.store(1)
+            """
+        )
+        first = tainted_defs(cfg)[0]
+        assert stale_paths(cfg, first) == []
+
+    def test_use_before_the_yield_is_fresh(self):
+        cfg = func_cfg(
+            """
+            def demote(self):
+                slave = self.slaves[0]
+                slave.store(1)
+                yield self.sim.timeout(1)
+            """
+        )
+        assert stale_paths(cfg, tainted_defs(cfg)[0]) == []
+
+    def test_capture_outside_loop_use_inside_after_yield(self):
+        cfg, paths = paths_of(
+            """
+            def demote(self):
+                slave = self.slaves[0]
+                while True:
+                    yield self.sim.timeout(1)
+                    slave.store(1)
+            """
+        )
+        assert [cfg.nodes[p.use_index].line for p in paths] == [5]
+
+    def test_tainted_defs_cover_for_targets(self):
+        cfg = func_cfg(
+            """
+            def walk(self):
+                for record in self._records.values():
+                    yield self.sim.timeout(1)
+            """,
+            name="walk",
+        )
+        assert tainted_defs(cfg) == [TaintedDef(0, "record", "_records")]
+
+
+class TestActuation:
+    def test_unguarded_mutation_after_yield(self):
+        cfg = func_cfg(
+            """
+            def expire(self):
+                yield self.sim.timeout(1)
+                self._pending.pop(1, None)
+            """,
+            name="expire",
+        )
+        reached = unguarded_from_entry(cfg)
+        assert reached == {1: 2}
+        assert protocol_mutation(cfg.nodes[1].stmt) == "_pending"
+
+    def test_fence_clears_the_reach(self):
+        cfg = func_cfg(
+            """
+            def expire(self):
+                epoch = self._epoch
+                yield self.sim.timeout(1)
+                if self._epoch != epoch:
+                    return
+                self._pending.pop(1, None)
+            """,
+            name="expire",
+        )
+        reached = unguarded_from_entry(cfg)
+        mutations = {
+            index
+            for index in reached
+            if protocol_mutation(cfg.nodes[index].stmt)
+        }
+        assert mutations == set()
+
+    def test_subscript_store_is_a_mutation(self):
+        stmt = parse("self._records[k] = record").body[0]
+        assert protocol_mutation(stmt) == "_records"
+        assert protocol_mutation(parse("x = y").body[0]) is None
+
+
+class TestMayYieldSummary:
+    TREE = """
+    class C:
+        def worker(self):
+            yield 1
+
+        def driver(self):
+            yield from self.worker()
+
+        def spawner(self, sim):
+            sim.process(self.worker())
+
+        def outer(self, sim):
+            sim.process(self.spawner(sim))
+
+        def plain(self):
+            return self.worker()
+    """
+
+    def summary(self):
+        return may_yield_functions(parse(self.TREE))
+
+    def test_direct_and_yield_from_are_direct(self):
+        summary = self.summary()
+        assert summary["worker"] and summary["driver"]
+
+    def test_spawn_propagates_one_level(self):
+        summary = self.summary()
+        assert summary["spawner"] is True
+        # One level only: spawning a spawner does not propagate twice.
+        assert summary["outer"] is False
+
+    def test_plain_calls_do_not_propagate(self):
+        assert self.summary()["plain"] is False

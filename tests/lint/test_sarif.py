@@ -1,0 +1,61 @@
+"""SARIF 2.1.0 export: shape, rule metadata, 1-based columns, errors."""
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.cli import main
+from repro.lint.sarif import SARIF_VERSION, to_sarif
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def sarif_run(capsys, *argv):
+    code = main(["--format", "sarif", *argv])
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    return code, log["runs"][0]
+
+
+def test_findings_become_results_with_one_based_columns(capsys):
+    code, run = sarif_run(capsys, str(FIXTURES / "simrace" / "unfenced.py"))
+    assert code == 1
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "dyrs-lint"
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == ["SIM502", "SIM502"]
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 9
+    assert region["startColumn"] == 13  # AST col 12, SARIF is 1-based
+    uri = results[0]["locations"][0]["physicalLocation"]["artifactLocation"]
+    assert uri["uri"].endswith("unfenced.py")
+
+
+def test_rule_metadata_indexes_resolve(capsys):
+    _, run = sarif_run(capsys, str(FIXTURES / "simrace" / "unfenced.py"))
+    rules = run["tool"]["driver"]["rules"]
+    ids = [meta["id"] for meta in rules]
+    for expected in ("SIM501", "SIM502", "SIM503", "OBS302", "CFG601"):
+        assert expected in ids
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+        assert result["message"]["text"]
+
+
+def test_clean_run_exits_zero_with_empty_results(capsys):
+    code, run = sarif_run(
+        capsys, str(FIXTURES / "knobrepo" / "tests" / "knob_usage.py")
+    )
+    assert code == 0
+    assert run["results"] == []
+
+
+def test_parse_errors_surface_as_e000(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    report = lint_paths([bad])
+    results = to_sarif(report)["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["ruleId"] == "E000"
+    assert "unparsable" in results[0]["message"]["text"]
